@@ -1,0 +1,51 @@
+// Ablation — the Table 2 layout/vectorization ladder, per benchmark.
+//
+// For each benchmark: blocked AoS → blocked SoA → hand-vectorized SIMD,
+// under the restart policy on the sequential scheduler, with the speedup
+// each rung adds.  This isolates where the paper's single-core gains come
+// from (blocking vs layout vs vector execution).
+//
+// Flags: --scale=, --benchmarks=
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "default");
+  const std::string filter = flags.get("benchmarks");
+
+  auto suite = tbench::make_suite(scale);
+  std::printf("%-12s | %9s | %9s %9s %9s | %7s %7s %7s\n", "benchmark", "Ts(s)", "block(s)",
+              "soa(s)", "simd(s)", "Ts/blk", "Ts/soa", "Ts/simd");
+  std::vector<double> g_blk, g_soa, g_simd;
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    std::string expected;
+    const double ts = tbench::time_best([&] { expected = b->run_sequential(); }, 2);
+    double times[3] = {0, 0, 0};
+    const tbench::Layer layers[3] = {tbench::Layer::Aos, tbench::Layer::Soa,
+                                     tbench::Layer::Simd};
+    for (int i = 0; i < 3; ++i) {
+      tbench::BlockedConfig cfg;
+      cfg.policy = tb::core::SeqPolicy::Restart;
+      cfg.layer = layers[i];
+      cfg.th = b->thresholds();
+      std::string got;
+      times[i] = tbench::time_best([&] { got = b->run_blocked(cfg); }, 2);
+      if (got != expected) std::printf("MISMATCH %s %s\n", b->name().c_str(),
+                                       tbench::to_string(layers[i]));
+    }
+    std::printf("%-12s | %9.4f | %9.4f %9.4f %9.4f | %7.2f %7.2f %7.2f\n", b->name().c_str(),
+                ts, times[0], times[1], times[2], ts / times[0], ts / times[1],
+                ts / times[2]);
+    g_blk.push_back(ts / times[0]);
+    g_soa.push_back(ts / times[1]);
+    g_simd.push_back(ts / times[2]);
+  }
+  std::printf("%-12s | %9s | %9s %9s %9s | %7.2f %7.2f %7.2f\n", "geomean", "", "", "", "",
+              tbench::geomean(g_blk), tbench::geomean(g_soa), tbench::geomean(g_simd));
+  return 0;
+}

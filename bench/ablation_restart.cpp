@@ -1,0 +1,61 @@
+// Ablation — restart-specific design choices.
+//
+// (a) Restart-block threshold (the paper's "RB size" column): sweep
+//     t_restart and report sequential-restart time and SIMD utilization.
+// (b) The §6 no-intervening-steal merge elision: parallel restart with the
+//     optimization on vs off (merge counts show why it matters).
+//
+// Flags: --scale=, --benchmarks=, --workers=
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "default");
+  const std::string filter = flags.get("benchmarks", "nqueens,uts,parentheses,graphcol");
+  const int workers = static_cast<int>(flags.get_int("workers", 4));
+
+  auto suite = tbench::make_suite(scale);
+
+  std::printf("== (a) restart-block size sweep (sequential restart, SIMD layer) ==\n");
+  std::printf("%-12s %8s | %9s %8s %10s\n", "benchmark", "t_rst", "time(s)", "util%",
+              "restarts");
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    for (const std::size_t rb : {8u, 32u, 128u, 512u, 2048u}) {
+      if (rb > b->default_block()) continue;
+      tbench::BlockedConfig cfg;
+      cfg.policy = tb::core::SeqPolicy::Restart;
+      cfg.layer = tbench::Layer::Simd;
+      cfg.th = b->thresholds(0, rb);
+      tb::core::ExecStats st;
+      const double t = tbench::time_best([&] { (void)b->run_blocked(cfg, &st); }, 2);
+      std::printf("%-12s %8zu | %9.4f %8.1f %10llu\n", b->name().c_str(), rb, t,
+                  st.simd_utilization() * 100.0,
+                  static_cast<unsigned long long>(st.restart_actions));
+    }
+  }
+
+  std::printf("\n== (b) merge elision (parallel restart, P=%d) ==\n", workers);
+  std::printf("%-12s %8s | %9s %10s\n", "benchmark", "elide", "time(s)", "merges");
+  tb::rt::ForkJoinPool pool(workers);
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    for (const bool elide : {true, false}) {
+      tbench::BlockedConfig cfg;
+      cfg.policy = tb::core::SeqPolicy::Restart;
+      cfg.layer = tbench::Layer::Simd;
+      cfg.pool = &pool;
+      cfg.elide = elide;
+      cfg.th = b->thresholds();
+      tb::core::ExecStats st;
+      const double t = tbench::time_best([&] { (void)b->run_blocked(cfg, &st); }, 2);
+      std::printf("%-12s %8s | %9.4f %10llu\n", b->name().c_str(), elide ? "on" : "off", t,
+                  static_cast<unsigned long long>(st.merges));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — the space/parallelism trade of §3.5 and the Lemma 8 bound.
+//
+// Sweeps the block-size cap t_dfe and reports, per benchmark and policy,
+// the SIMD utilization (what larger blocks buy) against the peak number of
+// resident tasks (what they cost), measured by the real sequential
+// schedulers.  A second section runs the multicore simulator with space
+// tracking and compares the measured peak against Lemma 8's h·k·Q·P
+// envelope across core counts.
+//
+// Flags: --scale=, --benchmarks=, --max-exp=N (default 14)
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+#include "sim/comp_tree.hpp"
+#include "sim/par_sim.hpp"
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "default");
+  const std::string filter = flags.get("benchmarks", "fib,nqueens,uts,minmax");
+  const int max_exp = static_cast<int>(flags.get_int("max-exp", 14));
+
+  auto suite = tbench::make_suite(scale);
+  std::printf("# Real schedulers: utilization vs peak resident tasks per t_dfe\n");
+  std::printf("%-12s %-8s", "benchmark", "policy");
+  for (int e = 4; e <= max_exp; e += 2) std::printf(" | %9s 2^%-2d", "util/spc", e);
+  std::printf("\n");
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    for (const auto pol : {tb::core::SeqPolicy::Reexp, tb::core::SeqPolicy::Restart}) {
+      std::printf("%-12s %-8s", b->name().c_str(), tb::core::to_string(pol));
+      for (int e = 4; e <= max_exp; e += 2) {
+        const std::size_t block = 1ull << e;
+        tbench::BlockedConfig cfg;
+        cfg.policy = pol;
+        cfg.layer = tbench::Layer::Soa;
+        cfg.th = b->thresholds(block, std::min<std::size_t>(b->default_restart(), block));
+        tb::core::ExecStats st;
+        (void)b->run_blocked(cfg, &st);
+        std::printf(" | %3.0f%% %9llu", st.simd_utilization() * 100.0,
+                    static_cast<unsigned long long>(st.peak_space_tasks));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n# Simulator: Lemma 8 envelope (peak <= c*h*t_dfe*P), restart policy\n");
+  std::printf("%-14s %3s %8s %12s %14s %8s\n", "tree", "P", "t_dfe", "peak-space",
+              "h*t_dfe*P", "ratio");
+  struct TreeCase {
+    const char* name;
+    tb::sim::CompTree tree;
+  };
+  const TreeCase trees[] = {
+      {"perfect(16)", tb::sim::CompTree::perfect_binary(16)},
+      {"fib(24)", tb::sim::CompTree::fib_tree(24)},
+      {"caterpillar", tb::sim::CompTree::caterpillar(4000)},
+  };
+  for (const auto& tc : trees) {
+    for (const int p : {1, 4, 16}) {
+      for (const std::size_t t_dfe : {64u, 1024u}) {
+        tb::sim::SimConfig cfg;
+        cfg.policy = tb::sim::SimPolicy::Restart;
+        cfg.p = p;
+        cfg.q = 8;
+        cfg.t_dfe = t_dfe;
+        cfg.t_bfe = t_dfe;
+        cfg.t_restart = std::max<std::size_t>(t_dfe / 4, 8);
+        cfg.track_space = true;
+        const auto res = tb::sim::simulate(tc.tree, cfg);
+        const double envelope = static_cast<double>(tc.tree.height) *
+                                static_cast<double>(t_dfe) * static_cast<double>(p);
+        std::printf("%-14s %3d %8zu %12llu %14.0f %8.3f\n", tc.name, p, t_dfe,
+                    static_cast<unsigned long long>(res.peak_space_tasks), envelope,
+                    static_cast<double>(res.peak_space_tasks) / envelope);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation — execution tiers of the §5 specification language.
+//
+// The same textual program runs through four tiers:
+//
+//   ast      — AST-walking interpreter per task (the naive front-end)
+//   vm       — scalar bytecode VM per task (compiled, short-circuit jumps)
+//   vm+simd  — block bytecode VM: straight-line blocked dialect evaluated
+//              4 lanes at a time with masked child compaction
+//   native   — the equivalent hand-written C++ kernel's SIMD rung
+//              (the ceiling the compiler pipeline is chasing)
+//
+// All tiers run under the sequential restart scheduler with the same
+// thresholds, so the delta is purely the per-task/per-block execution cost.
+//
+// Flags: --scale=default|paper, --programs=fib,binomial,paren
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/binomial.hpp"
+#include "apps/fib.hpp"
+#include "apps/parentheses.hpp"
+#include "bench/bench_util.hpp"
+#include "core/driver.hpp"
+#include "spec/spec_lang.hpp"
+#include "spec/vm.hpp"
+
+namespace {
+
+using namespace tb;
+using core::SeqPolicy;
+
+struct ProgramCase {
+  std::string name;
+  const char* src;
+  std::array<std::int64_t, 2> root;
+  // Native-kernel runner (returns result) — the hand-written ceiling.
+  std::uint64_t (*native)(const core::Thresholds&, std::array<std::int64_t, 2>);
+};
+
+template <class P>
+std::uint64_t run_native(const P& prog, typename P::Task root, const core::Thresholds& th) {
+  const std::vector roots{root};
+  return core::run_seq<core::SimdExec<P>>(prog, roots, SeqPolicy::Restart, th);
+}
+
+std::uint64_t native_fib(const core::Thresholds& th, std::array<std::int64_t, 2> r) {
+  return run_native(apps::FibProgram{}, apps::FibProgram::root(static_cast<int>(r[0])), th);
+}
+std::uint64_t native_binomial(const core::Thresholds& th, std::array<std::int64_t, 2> r) {
+  return run_native(apps::BinomialProgram{},
+                    apps::BinomialProgram::root(static_cast<int>(r[0]), static_cast<int>(r[1])),
+                    th);
+}
+std::uint64_t native_paren(const core::Thresholds& th, std::array<std::int64_t, 2> r) {
+  return run_native(apps::ParenthesesProgram{},
+                    apps::ParenthesesProgram::root(static_cast<int>(r[0])), th);
+}
+
+constexpr const char* kFib = R"(
+  def fib(n)
+    base n < 2
+    reduce n
+    spawn fib(n - 1)
+    spawn fib(n - 2)
+)";
+constexpr const char* kBinomial = R"(
+  def choose(n, k)
+    base k == 0 || k == n
+    reduce 1
+    spawn choose(n - 1, k - 1)
+    spawn choose(n - 1, k)
+)";
+constexpr const char* kParens = R"(
+  def paren(open, close)
+    base open == 0 && close == 0
+    reduce 1
+    spawn if open > 0 : paren(open - 1, close)
+    spawn if close > open : paren(open, close - 1)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const bool paper = flags.get("scale", "default") == "paper";
+  const std::string filter = flags.get("programs");
+
+  const std::vector<ProgramCase> cases = {
+      {"fib", kFib, {paper ? 34 : 29, 0}, native_fib},
+      {"binomial", kBinomial, {paper ? 32 : 24, paper ? 13 : 10}, native_binomial},
+      {"paren", kParens, {paper ? 16 : 12, paper ? 16 : 12}, native_paren},
+  };
+
+  std::printf("spec-language execution tiers (restart policy, sequential scheduler)\n");
+  std::printf("%-10s | %10s | %9s %9s %9s %9s | %7s %7s %7s\n", "program", "tasks", "ast(s)",
+              "vm(s)", "vm+simd", "native", "vm/ast", "simd/ast", "nat/ast");
+
+  std::vector<double> g_vm, g_simd, g_native;
+  for (const auto& c : cases) {
+    if (!tbench::selected(filter, c.name)) continue;
+    const auto ast = spec::SpecProgram::parse(c.src);
+    const auto vm = spec::CompiledSpecProgram::parse(c.src);
+    const auto th = core::Thresholds::for_block_size(/*Q=*/4, /*block=*/4096, /*restart=*/256);
+
+    const std::vector ast_roots{ast.make_root({c.root[0], c.root[1]})};
+    const std::vector vm_roots{vm.make_root({c.root[0], c.root[1]})};
+    const auto info = core::count_tree(ast, ast_roots);
+
+    std::uint64_t r_ast = 0, r_vm = 0, r_simd = 0, r_native = 0;
+    const double t_ast = tbench::time_best([&] {
+      r_ast = core::run_seq<core::SoaExec<spec::SpecProgram>>(ast, ast_roots,
+                                                              SeqPolicy::Restart, th);
+    });
+    const double t_vm = tbench::time_best([&] {
+      r_vm = core::run_seq<core::SoaExec<spec::CompiledSpecProgram>>(vm, vm_roots,
+                                                                     SeqPolicy::Restart, th);
+    });
+    const double t_simd = tbench::time_best([&] {
+      r_simd = core::run_seq<core::SimdExec<spec::CompiledSpecProgram>>(
+          vm, vm_roots, SeqPolicy::Restart, th);
+    });
+    const double t_native = tbench::time_best([&] { r_native = c.native(th, c.root); });
+
+    if (r_vm != r_ast || r_simd != r_ast || r_native != r_ast) {
+      std::printf("MISMATCH %s: ast=%llu vm=%llu simd=%llu native=%llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(r_ast), static_cast<unsigned long long>(r_vm),
+                  static_cast<unsigned long long>(r_simd),
+                  static_cast<unsigned long long>(r_native));
+      return 1;
+    }
+    std::printf("%-10s | %10llu | %9.4f %9.4f %9.4f %9.4f | %7.2f %7.2f %7.2f\n",
+                c.name.c_str(), static_cast<unsigned long long>(info.tasks), t_ast, t_vm,
+                t_simd, t_native, t_ast / t_vm, t_ast / t_simd, t_ast / t_native);
+    g_vm.push_back(t_ast / t_vm);
+    g_simd.push_back(t_ast / t_simd);
+    g_native.push_back(t_ast / t_native);
+  }
+  std::printf("%-10s | %10s | %9s %9s %9s %9s | %7.2f %7.2f %7.2f\n", "geomean", "", "", "",
+              "", "", tbench::geomean(g_vm), tbench::geomean(g_simd),
+              tbench::geomean(g_native));
+  return 0;
+}

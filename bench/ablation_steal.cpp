@@ -1,0 +1,78 @@
+// Ablation — steal-attempt cost sensitivity (§4.3's constant c).
+//
+// The Theorem 4 analysis assumes a steal attempt takes one time step and
+// notes the proof generalizes to any constant c.  This harness sweeps c on
+// the discrete simulator and reports makespans for the scalar, reexp, and
+// restart policies on P cores.  Expected shape: steal attempts are a
+// low-order term for every policy on work-rich trees (makespan is n/QP-
+// dominated), so multiplying their cost by 32 should move makespans by
+// percents, not factors — the concrete content of Theorem 4's O(n/QP +
+// k·h) bound being steal-dominated only in its additive term.  The number
+// of *attempts* also falls as c grows (a waiting thief attempts less
+// often), which the attempt columns make visible.
+//
+// Flags: --p=N (default 8), --tree=fib|perfect|random (default fib)
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "sim/comp_tree.hpp"
+#include "sim/par_sim.hpp"
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const int p = static_cast<int>(flags.get_int("p", 8));
+  const std::string tree_name = flags.get("tree", "fib");
+
+  tb::sim::CompTree tree;
+  if (tree_name == "perfect") {
+    tree = tb::sim::CompTree::perfect_binary(18);
+  } else if (tree_name == "random") {
+    tree = tb::sim::CompTree::random_binary(300000, 0.72, 5);
+  } else {
+    tree = tb::sim::CompTree::fib_tree(26);
+  }
+  std::printf("steal-cost sensitivity: %s tree, %zu tasks, height %d, P=%d, Q=8\n",
+              tree_name.c_str(), tree.num_nodes(), tree.height, p);
+  std::printf("%8s | %12s %12s %12s | %10s %10s\n", "c", "scalar", "reexp", "restart",
+              "steals(rx)", "steals(rs)");
+
+  double base_scalar = 0, base_restart = 0;
+  for (const std::uint64_t c : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::uint64_t makespan[3] = {0, 0, 0};
+    std::uint64_t steals[3] = {0, 0, 0};
+    int i = 0;
+    for (const auto pol :
+         {tb::sim::SimPolicy::ScalarWS, tb::sim::SimPolicy::Reexp, tb::sim::SimPolicy::Restart}) {
+      tb::sim::SimConfig cfg;
+      cfg.policy = pol;
+      cfg.p = p;
+      cfg.q = 8;
+      cfg.t_dfe = 256;
+      cfg.t_bfe = 256;
+      cfg.t_restart = 64;
+      cfg.steal_cost = c;
+      const auto res = tb::sim::simulate(tree, cfg);
+      makespan[i] = res.makespan;
+      steals[i] = res.steal_attempts;
+      ++i;
+    }
+    if (c == 1) {
+      base_scalar = static_cast<double>(makespan[0]);
+      base_restart = static_cast<double>(makespan[2]);
+    }
+    std::printf("%8llu | %12llu %12llu %12llu | %10llu %10llu\n",
+                static_cast<unsigned long long>(c),
+                static_cast<unsigned long long>(makespan[0]),
+                static_cast<unsigned long long>(makespan[1]),
+                static_cast<unsigned long long>(makespan[2]),
+                static_cast<unsigned long long>(steals[1]),
+                static_cast<unsigned long long>(steals[2]));
+    if (c == 32) {
+      std::printf("\n# degradation at c=32 vs c=1: scalar %.2fx, restart %.2fx\n",
+                  static_cast<double>(makespan[0]) / base_scalar,
+                  static_cast<double>(makespan[2]) / base_restart);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Figure 5 — scalability at small block size (2^5).
+//
+// Two modes:
+//   measured   wall-clock speedup vs the 1-worker Cilk baseline for scalar /
+//              reexp / restart while sweeping the worker count.  On a host
+//              with few hardware threads this is oversubscription, reported
+//              honestly as such.
+//   simulated  the discrete §4-cost-model simulator replays each
+//              benchmark's *actual* materialized computation tree on P
+//              virtual cores — this reproduces the paper's scaling shape
+//              independent of the host (DESIGN.md §3).
+//
+// Output: CSV `benchmark,mode,policy,workers,speedup`.
+// Flags: --scale= (measured), --sim-scale= (simulated; default test),
+//        --max-workers=16, --block=32, --benchmarks=, --mode=both
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+#include "sim/materialize.hpp"
+#include "sim/par_sim.hpp"
+
+namespace {
+
+constexpr const char* kFigBenches = "graphcol,uts,minmax,barneshut,pointcorr,knn";
+
+void run_measured(const tbench::Flags& flags) {
+  const std::string scale = flags.get("scale", "default");
+  const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
+  const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 32));
+  const std::string filter = flags.get("benchmarks", kFigBenches);
+  auto suite = tbench::make_suite(scale);
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    tb::rt::ForkJoinPool pool1(1);
+    const double t1_scalar = tbench::time_best([&] { (void)b->run_cilk(pool1); }, 1);
+    for (int w = 1; w <= max_workers; w *= 2) {
+      tb::rt::ForkJoinPool pool(w);
+      const double t_scalar = tbench::time_best([&] { (void)b->run_cilk(pool); }, 1);
+      std::printf("%s,measured,scalar,%d,%.2f\n", b->name().c_str(), w,
+                  t1_scalar / t_scalar);
+      for (const auto pol : {tb::core::SeqPolicy::Reexp, tb::core::SeqPolicy::Restart}) {
+        tbench::BlockedConfig cfg;
+        cfg.policy = pol;
+        cfg.layer = tbench::Layer::Simd;
+        cfg.pool = &pool;
+        cfg.th = b->thresholds(block, std::min<std::size_t>(block, 16));
+        const double t = tbench::time_best([&] { (void)b->run_blocked(cfg); }, 1);
+        std::printf("%s,measured,%s,%d,%.2f\n", b->name().c_str(),
+                    tb::core::to_string(pol), w, t1_scalar / t);
+      }
+      {
+        // Extension: the Fig 3b ideal restart scheduler (per-worker block
+        // deques) on the same sweep.
+        tbench::BlockedConfig cfg;
+        cfg.layer = tbench::Layer::Simd;
+        cfg.ideal_workers = w;
+        cfg.th = b->thresholds(block, std::min<std::size_t>(block, 16));
+        const double t = tbench::time_best([&] { (void)b->run_blocked(cfg); }, 1);
+        std::printf("%s,measured,ideal,%d,%.2f\n", b->name().c_str(), w, t1_scalar / t);
+      }
+    }
+  }
+}
+
+template <class Prog>
+void simulate_bench(const std::string& name, const Prog& prog,
+                    std::span<const typename Prog::Task> roots, int q, int max_workers,
+                    std::size_t block, bool call_leaf = false) {
+  auto mat = tb::sim::materialize(prog, roots, 64u << 20, call_leaf);
+  const auto policies = {tb::sim::SimPolicy::ScalarWS, tb::sim::SimPolicy::Reexp,
+                         tb::sim::SimPolicy::Restart};
+  // Baseline: 1-core scalar work stealing (the paper's 1-worker Cilk).
+  tb::sim::SimConfig base;
+  base.p = 1;
+  base.q = q;
+  base.policy = tb::sim::SimPolicy::ScalarWS;
+  const double t1 =
+      static_cast<double>(tb::sim::simulate(mat.tree, base, mat.roots).makespan);
+  for (const auto pol : policies) {
+    for (int w = 1; w <= max_workers; w *= 2) {
+      tb::sim::SimConfig cfg;
+      cfg.p = w;
+      cfg.q = q;
+      cfg.t_dfe = block;
+      cfg.t_bfe = block;
+      cfg.t_restart = std::min<std::size_t>(block, 16);
+      cfg.policy = pol;
+      const auto res = tb::sim::simulate(mat.tree, cfg, mat.roots);
+      std::printf("%s,simulated,%s,%d,%.2f\n", name.c_str(), tb::sim::to_string(pol), w,
+                  t1 / static_cast<double>(res.makespan));
+    }
+  }
+}
+
+void run_simulated(const tbench::Flags& flags) {
+  const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
+  const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 32));
+  const std::string filter = flags.get("benchmarks", kFigBenches);
+  // Simulation replays explicit trees in memory; the test scale keeps that
+  // bounded while preserving each benchmark's shape.
+  const std::string sim_scale = flags.get("sim-scale", "test");
+
+  if (tbench::selected(filter, "graphcol")) {
+    const auto g = tb::apps::GraphColInstance::random(sim_scale == "default" ? 19 : 15, 3.0);
+    tb::apps::GraphColProgram prog{&g};
+    const std::vector roots{tb::apps::GraphColProgram::root()};
+    simulate_bench("graphcol", prog, roots, 4, max_workers, block);
+  }
+  if (tbench::selected(filter, "uts")) {
+    tb::apps::UtsProgram prog(tb::apps::UtsParams{256, 4, 0.24, 19});
+    const auto roots = prog.roots();
+    simulate_bench("uts", prog, roots, 4, max_workers, block);
+  }
+  if (tbench::selected(filter, "minmax")) {
+    tb::apps::MinmaxProgram prog{5};
+    const std::vector roots{tb::apps::MinmaxProgram::root()};
+    simulate_bench("minmax", prog, roots, 8, max_workers, block);
+  }
+  if (tbench::selected(filter, "barneshut")) {
+    const auto bodies = tb::spatial::Bodies::plummer(3000);
+    const auto tree = tb::spatial::Octree::build(bodies, 8);
+    std::vector<float> fx(bodies.size()), fy(bodies.size()), fz(bodies.size());
+    tb::apps::BarnesHutProgram prog{&bodies, &tree, fx.data(), fy.data(), fz.data()};
+    const auto roots = prog.roots(0.5f);
+    simulate_bench("barneshut", prog, roots, 8, max_workers, block);
+  }
+  if (tbench::selected(filter, "pointcorr")) {
+    const auto pts = tb::spatial::Bodies::uniform_cube(3000);
+    const auto tree = tb::spatial::KdTree::build(pts, 16);
+    tb::apps::PointCorrProgram prog{&pts, &tree, 0.05f};
+    const auto roots = prog.roots();
+    simulate_bench("pointcorr", prog, roots, 8, max_workers, block);
+  }
+  if (tbench::selected(filter, "knn")) {
+    const auto pts = tb::spatial::Bodies::uniform_cube(3000);
+    const auto tree = tb::spatial::KdTree::build(pts, 16);
+    tb::apps::KnnState state(pts.size(), 4);
+    tb::apps::KnnProgram prog{&pts, &tree, &state};
+    const auto roots = prog.roots();
+    simulate_bench("knn", prog, roots, 8, max_workers, block, /*call_leaf=*/true);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string mode = flags.get("mode", "both");
+  std::printf("benchmark,mode,policy,workers,speedup\n");
+  if (mode == "simulated" || mode == "both") run_simulated(flags);
+  if (mode == "measured" || mode == "both") run_measured(flags);
+  if (mode == "both") {
+    std::printf(
+        "# simulated: §4 cost model on P virtual cores (shape of paper Fig. 5).\n"
+        "# measured: wall clock on this host (%u hardware thread(s)).\n",
+        std::thread::hardware_concurrency());
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Table 1 — benchmark characteristics and performance.
+//
+// Per benchmark: tree census (#levels, #tasks), Ts (sequential recursion),
+// T1/TP (Cilk-style, 1 and P workers), T1x/T1r (1-core blocked+SIMD
+// re-expansion / restart), TPx/TPr (P workers), and the paper's speedup
+// columns Ts/T1{,x,r} and Ts/TP{,x,r}.  Every run's result digest is
+// verified against the sequential baseline.
+//
+// Flags:
+//   --scale=test|default|paper   problem sizes (default: default)
+//   --workers=N                  "16-worker" column (default: 16, as in the
+//                                paper; oversubscribed on small hosts)
+//   --benchmarks=a,b,c           subset filter
+//   --block=N --rb=N             override block / restart-block sizes
+//   --reps=N                     best-of-N timing (default 1)
+//   --no-census                  skip tree census (useful at --scale=paper)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+
+namespace {
+
+struct Row {
+  std::string name, problem;
+  tb::core::TreeInfo info{};
+  double ts = 0, t1 = 0, tp = 0, t1x = 0, t1r = 0, tpx = 0, tpr = 0;
+  std::size_t block = 0, rb = 0;
+  bool verified = true;
+};
+
+double safe_div(double a, double b) { return b > 0 ? a / b : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "default");
+  const int workers = static_cast<int>(flags.get_int("workers", 16));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
+  const std::string filter = flags.get("benchmarks");
+  const bool census = !flags.has("no-census");
+
+  auto suite = tbench::make_suite(scale);
+  tb::rt::ForkJoinPool pool1(1);
+  tb::rt::ForkJoinPool poolP(workers);
+
+  std::printf("Table 1: benchmark characteristics and performance (scale=%s, P=%d)\n",
+              scale.c_str(), workers);
+  std::printf(
+      "%-12s %-14s %8s %12s | %9s %9s %9s | %6s %6s | %7s %7s %7s | %7s %7s %7s  %s\n",
+      "Benchmark", "Problem", "#Levels", "#Tasks", "Ts(s)", "T1(s)", "TP(s)", "Block", "RB",
+      "Ts/T1", "Ts/T1x", "Ts/T1r", "Ts/TP", "Ts/TPx", "Ts/TPr", "ok");
+
+  std::vector<double> g_t1, g_t1x, g_t1r, g_tp, g_tpx, g_tpr;
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    Row row;
+    row.name = b->name();
+    row.problem = b->problem();
+    row.block = static_cast<std::size_t>(flags.get_int("block", 0));
+    row.rb = static_cast<std::size_t>(flags.get_int("rb", 0));
+    const auto th = b->thresholds(row.block, row.rb);
+    row.block = th.t_dfe;
+    row.rb = th.t_restart;
+    if (census) row.info = b->census();
+
+    std::string expected;
+    row.ts = tbench::time_best([&] { expected = b->run_sequential(); }, reps);
+    auto check = [&](const std::string& got) { row.verified &= (got == expected); };
+
+    row.t1 = tbench::time_best([&] { check(b->run_cilk(pool1)); }, reps);
+    row.tp = tbench::time_best([&] { check(b->run_cilk(poolP)); }, reps);
+
+    tbench::BlockedConfig cfg;
+    cfg.th = th;
+    cfg.layer = tbench::Layer::Simd;
+    cfg.policy = tb::core::SeqPolicy::Reexp;
+    cfg.pool = nullptr;
+    row.t1x = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    cfg.policy = tb::core::SeqPolicy::Restart;
+    row.t1r = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    cfg.pool = &poolP;
+    cfg.policy = tb::core::SeqPolicy::Reexp;
+    row.tpx = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    cfg.policy = tb::core::SeqPolicy::Restart;
+    row.tpr = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+
+    std::printf(
+        "%-12s %-14s %8d %12llu | %9.4f %9.4f %9.4f | %6zu %6zu | %7.2f %7.2f %7.2f | %7.2f "
+        "%7.2f %7.2f  %s\n",
+        row.name.c_str(), row.problem.c_str(), row.info.levels,
+        static_cast<unsigned long long>(row.info.tasks), row.ts, row.t1, row.tp, row.block,
+        row.rb, safe_div(row.ts, row.t1), safe_div(row.ts, row.t1x), safe_div(row.ts, row.t1r),
+        safe_div(row.ts, row.tp), safe_div(row.ts, row.tpx), safe_div(row.ts, row.tpr),
+        row.verified ? "yes" : "MISMATCH");
+    g_t1.push_back(safe_div(row.ts, row.t1));
+    g_t1x.push_back(safe_div(row.ts, row.t1x));
+    g_t1r.push_back(safe_div(row.ts, row.t1r));
+    g_tp.push_back(safe_div(row.ts, row.tp));
+    g_tpx.push_back(safe_div(row.ts, row.tpx));
+    g_tpr.push_back(safe_div(row.ts, row.tpr));
+  }
+  std::printf(
+      "%-12s %-14s %8s %12s | %9s %9s %9s | %6s %6s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
+      "Geo. mean", "", "", "", "", "", "", "", "", tbench::geomean(g_t1),
+      tbench::geomean(g_t1x), tbench::geomean(g_t1r), tbench::geomean(g_tp),
+      tbench::geomean(g_tpx), tbench::geomean(g_tpr));
+  std::printf(
+      "\nNote: this host exposes %u hardware thread(s); the P-worker columns are\n"
+      "oversubscribed wall-clock here — see fig5_scalability --mode=simulated for the\n"
+      "multicore scaling shape under the paper's cost model.\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

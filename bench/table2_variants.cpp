@@ -1,0 +1,119 @@
+// Table 2 — geometric-mean speedup of the implementation-variant ladder.
+//
+// Rows: 1 worker, P workers, and the scalability ratio (P-worker time of a
+// variant over its own 1-worker time).  Columns: the input Cilk program
+// ("scalar"), then for each of re-expansion and restart the three layers —
+// blocked AoS ("Block"), blocked SoA ("SOA"), and hand-vectorized ("SIMD").
+// All speedups are relative to the sequential recursion Ts, exactly as the
+// paper's Table 2 reports.
+//
+// Flags: --scale=, --workers=, --benchmarks=, --reps=
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+
+namespace {
+
+using tb::core::SeqPolicy;
+using tbench::Layer;
+
+struct VariantKey {
+  SeqPolicy policy;
+  Layer layer;
+  bool parallel;
+  auto operator<=>(const VariantKey&) const = default;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "default");
+  const int workers = static_cast<int>(flags.get_int("workers", 16));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
+  const std::string filter = flags.get("benchmarks");
+
+  auto suite = tbench::make_suite(scale);
+  tb::rt::ForkJoinPool pool1(1);
+  tb::rt::ForkJoinPool poolP(workers);
+
+  const Layer layers[] = {Layer::Aos, Layer::Soa, Layer::Simd};
+  const SeqPolicy policies[] = {SeqPolicy::Reexp, SeqPolicy::Restart};
+
+  std::map<VariantKey, std::vector<double>> speedups;
+  std::vector<double> scalar1, scalarP;
+
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+    std::string expected;
+    const double ts = tbench::time_best([&] { expected = b->run_sequential(); }, reps);
+    const double t1 = tbench::time_best([&] { (void)b->run_cilk(pool1); }, reps);
+    const double tp = tbench::time_best([&] { (void)b->run_cilk(poolP); }, reps);
+    scalar1.push_back(ts / t1);
+    scalarP.push_back(ts / tp);
+    for (const auto pol : policies) {
+      for (const auto layer : layers) {
+        tbench::BlockedConfig cfg;
+        cfg.th = b->thresholds();
+        cfg.policy = pol;
+        cfg.layer = layer;
+        cfg.pool = nullptr;
+        std::string got;
+        const double tv1 = tbench::time_best([&] { got = b->run_blocked(cfg); }, reps);
+        if (got != expected) {
+          std::printf("MISMATCH %s %s %s seq\n", b->name().c_str(),
+                      tb::core::to_string(pol), tbench::to_string(layer));
+        }
+        cfg.pool = &poolP;
+        const double tvP = tbench::time_best([&] { got = b->run_blocked(cfg); }, reps);
+        if (got != expected) {
+          std::printf("MISMATCH %s %s %s par\n", b->name().c_str(),
+                      tb::core::to_string(pol), tbench::to_string(layer));
+        }
+        speedups[{pol, layer, false}].push_back(ts / tv1);
+        speedups[{pol, layer, true}].push_back(ts / tvP);
+      }
+    }
+  }
+
+  auto gm = [&](SeqPolicy p, Layer l, bool par) {
+    return tbench::geomean(speedups[{p, l, par}]);
+  };
+
+  std::printf("Table 2: geomean speedup vs Ts (scale=%s, P=%d)\n\n", scale.c_str(), workers);
+  std::printf("%-12s %7s | %7s %7s %7s | %7s %7s %7s\n", "", "scalar", "reexp:B", "SOA",
+              "SIMD", "restart:B", "SOA", "SIMD");
+  std::printf("%-12s %7.2f | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n", "1-worker",
+              tbench::geomean(scalar1), gm(SeqPolicy::Reexp, Layer::Aos, false),
+              gm(SeqPolicy::Reexp, Layer::Soa, false), gm(SeqPolicy::Reexp, Layer::Simd, false),
+              gm(SeqPolicy::Restart, Layer::Aos, false),
+              gm(SeqPolicy::Restart, Layer::Soa, false),
+              gm(SeqPolicy::Restart, Layer::Simd, false));
+  std::printf("%-12s %7.2f | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n", "P-worker",
+              tbench::geomean(scalarP), gm(SeqPolicy::Reexp, Layer::Aos, true),
+              gm(SeqPolicy::Reexp, Layer::Soa, true), gm(SeqPolicy::Reexp, Layer::Simd, true),
+              gm(SeqPolicy::Restart, Layer::Aos, true),
+              gm(SeqPolicy::Restart, Layer::Soa, true),
+              gm(SeqPolicy::Restart, Layer::Simd, true));
+  std::printf("%-12s %7.2f | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n", "Scalability",
+              tbench::geomean(scalarP) / tbench::geomean(scalar1),
+              gm(SeqPolicy::Reexp, Layer::Aos, true) / gm(SeqPolicy::Reexp, Layer::Aos, false),
+              gm(SeqPolicy::Reexp, Layer::Soa, true) / gm(SeqPolicy::Reexp, Layer::Soa, false),
+              gm(SeqPolicy::Reexp, Layer::Simd, true) /
+                  gm(SeqPolicy::Reexp, Layer::Simd, false),
+              gm(SeqPolicy::Restart, Layer::Aos, true) /
+                  gm(SeqPolicy::Restart, Layer::Aos, false),
+              gm(SeqPolicy::Restart, Layer::Soa, true) /
+                  gm(SeqPolicy::Restart, Layer::Soa, false),
+              gm(SeqPolicy::Restart, Layer::Simd, true) /
+                  gm(SeqPolicy::Restart, Layer::Simd, false));
+  std::printf(
+      "\nExpected shape (paper): Block > scalar at 1 worker, SOA >= Block, SIMD >> SOA.\n"
+      "Wall-clock scalability on this host reflects %u hardware thread(s).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// §4 theorems — measured steps/makespans of the real schedulers and the
+// discrete simulator against the closed-form bounds (Theorems 1–4).
+//
+// Prints one row per (tree family × policy × block size) with the measured
+// value, the bound, and their ratio; ratios should be Θ(1).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/driver.hpp"
+#include "sim/bounds.hpp"
+#include "sim/comp_tree.hpp"
+#include "sim/par_sim.hpp"
+#include "sim/tree_program.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tb;
+  tbench::Flags flags(argc, argv);
+  const int q = static_cast<int>(flags.get_int("q", 8));
+
+  struct Family {
+    std::string name;
+    sim::CompTree tree;
+  };
+  std::vector<Family> families;
+  families.push_back({"perfect(2^17)", sim::CompTree::perfect_binary(17)});
+  families.push_back({"caterpillar(20k)", sim::CompTree::caterpillar(20000)});
+  families.push_back({"random(200k,.95)", sim::CompTree::random_binary(200000, 0.95, 11)});
+  families.push_back({"fib(22)", sim::CompTree::fib_tree(22)});
+
+  std::printf("== Sequential policies vs Theorems 1-3 (Q=%d) ==\n", q);
+  std::printf("%-18s %-8s %7s | %10s %10s %10s %7s\n", "tree", "policy", "block", "steps",
+              "bound", "optimal", "ratio");
+  for (const auto& f : families) {
+    const std::uint64_t n = f.tree.num_nodes();
+    const int h = f.tree.height;
+    for (const std::size_t block : {8u, 64u, 1024u}) {
+      const double k = static_cast<double>(block) / q;
+      for (const auto pol :
+           {core::SeqPolicy::Basic, core::SeqPolicy::Reexp, core::SeqPolicy::Restart}) {
+        sim::CompTreeProgram prog{&f.tree};
+        const std::vector roots{sim::CompTreeProgram::root()};
+        core::ExecStats st;
+        const auto th = core::Thresholds::for_block_size(q, block, std::min<std::size_t>(block, 16));
+        (void)core::run_seq<core::SoaExec<sim::CompTreeProgram>>(prog, roots, pol, th, &st);
+        double bound = 0;
+        switch (pol) {
+          case core::SeqPolicy::Basic: bound = sim::theorem1_bound(n, h, k, q); break;
+          case core::SeqPolicy::Reexp: bound = sim::theorem2_bound(n, h, k, k, q); break;
+          case core::SeqPolicy::Restart: bound = sim::theorem3_bound(n, h, q); break;
+        }
+        std::printf("%-18s %-8s %7zu | %10llu %10.0f %10.0f %7.2f\n", f.name.c_str(),
+                    core::to_string(pol), block,
+                    static_cast<unsigned long long>(st.steps_total), bound,
+                    sim::optimal_lower_bound(n, h, q, 1),
+                    static_cast<double>(st.steps_total) / bound);
+      }
+    }
+  }
+
+  std::printf("\n== Parallel restart vs Theorem 4 (simulator, block=128) ==\n");
+  std::printf("%-18s %3s | %10s %10s %7s | %10s\n", "tree", "P", "makespan", "bound", "ratio",
+              "steals");
+  for (const auto& f : families) {
+    const std::uint64_t n = f.tree.num_nodes();
+    const int h = f.tree.height;
+    const std::size_t block = 128;
+    const double k = static_cast<double>(block) / q;
+    for (const int p : {1, 2, 4, 8, 16}) {
+      sim::SimConfig cfg;
+      cfg.p = p;
+      cfg.q = q;
+      cfg.t_dfe = block;
+      cfg.t_bfe = block;
+      cfg.t_restart = 16;
+      cfg.policy = sim::SimPolicy::Restart;
+      const auto res = sim::simulate(f.tree, cfg);
+      const double bound = sim::theorem4_bound(n, h, q, p, k);
+      std::printf("%-18s %3d | %10llu %10.0f %7.2f | %10llu\n", f.name.c_str(), p,
+                  static_cast<unsigned long long>(res.makespan), bound,
+                  static_cast<double>(res.makespan) / bound,
+                  static_cast<unsigned long long>(res.steal_attempts));
+    }
+  }
+  std::printf("\n# Ratios should be Θ(1): bounded above by a modest constant, independent\n"
+              "# of tree family, block size (restart), and core count (Theorem 4).\n");
+  return 0;
+}

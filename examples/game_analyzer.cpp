@@ -1,0 +1,46 @@
+// 4×4 tic-tac-toe opening analyzer: for every legal first move, walk the
+// bounded-ply game tree with the parallel restart scheduler and report the
+// leaf statistics (X wins / O wins within the horizon) plus the true
+// minimax verdict — the data-parallel-over-moves ∘ task-parallel-search
+// nesting of §5 applied to game analysis.
+//
+// Usage: ./game_analyzer [ply_limit] [workers]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/minmax.hpp"
+#include "core/driver.hpp"
+
+int main(int argc, char** argv) {
+  const int ply = argc > 1 ? std::atoi(argv[1]) : 7;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  tb::apps::MinmaxProgram prog{ply};
+  tb::rt::ForkJoinPool pool(workers);
+  using Exec = tb::core::SimdExec<tb::apps::MinmaxProgram>;
+  const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 1024, 64);
+
+  std::printf("4x4 tic-tac-toe, horizon %d plies, %d workers\n", ply, workers);
+  std::printf("%-6s | %12s %10s %10s | %s\n", "move", "leaves", "X wins", "O wins",
+              "minimax(shallow)");
+
+  // Symmetry classes of the 4x4 board's 16 opening cells: corner, edge,
+  // center — analyze one representative per class plus one generic cell.
+  for (const int cell : {0, 1, 5, 6}) {
+    tb::apps::MinmaxProgram::Task after{1u << cell, 0};
+    const std::vector roots{after};
+    const auto r = tb::core::run_par_restart<Exec>(pool, prog, roots, th);
+    // A cheap 5-ply exact minimax for a qualitative verdict.
+    tb::apps::MinmaxProgram shallow{5};
+    const int v = tb::apps::minmax_value(shallow, after);
+    std::printf("%-6d | %12llu %10llu %10llu | %s\n", cell,
+                static_cast<unsigned long long>(r.leaves),
+                static_cast<unsigned long long>(r.x_wins),
+                static_cast<unsigned long long>(r.o_wins),
+                v > 0 ? "X forces win" : (v < 0 ? "O forces win" : "draw-ish"));
+  }
+  std::printf("\n(Leaf statistics reduce at base cases, per the paper's model; the\n"
+              "minimax column is the exact shallow-search value for orientation.)\n");
+  return 0;
+}

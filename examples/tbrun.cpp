@@ -1,0 +1,140 @@
+// tbrun — run any of the paper's 11 benchmarks under any scheduler
+// configuration, verify the answer against the sequential oracle, and
+// report time, speedup, SIMD utilization, step mix, steals, and peak space.
+//
+// This is the "downstream user" front door to the library: every knob the
+// schedulers expose is a flag.
+//
+//   ./tbrun --list
+//   ./tbrun --bench=nqueens --policy=restart --layer=simd --block=2048
+//   ./tbrun --bench=uts --workers=4
+//   ./tbrun --bench=knapsack --tune
+//   ./tbrun --scale=paper --bench=fib
+//
+// Flags:
+//   --list                 show available benchmarks and defaults
+//   --bench=a,b,…          comma list (default: all)
+//   --scale=test|default|paper
+//   --policy=basic|reexp|restart|ideal  (basic is sequential-only; ideal =
+//                          the Fig 3b per-worker block-deque scheduler and
+//                          requires --workers)
+//   --layer=block|soa|simd
+//   --block=N --restart=N  thresholds (defaults: per-benchmark)
+//   --workers=N            N>0 runs the parallel scheduler on a pool
+//   --tune                 sweep block sizes first, use the fastest
+//   --reps=N               best-of-N timing (default 3)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+
+namespace {
+
+tb::core::SeqPolicy parse_policy(const std::string& s) {
+  if (s == "basic") return tb::core::SeqPolicy::Basic;
+  if (s == "reexp") return tb::core::SeqPolicy::Reexp;
+  return tb::core::SeqPolicy::Restart;  // "restart" and "ideal" (see main)
+}
+
+tbench::Layer parse_layer(const std::string& s) {
+  if (s == "block" || s == "aos") return tbench::Layer::Aos;
+  if (s == "soa") return tbench::Layer::Soa;
+  return tbench::Layer::Simd;
+}
+
+// Sweep t_dfe over powers of two for this benchmark/config and return the
+// fastest thresholds (the IBench-level analogue of core::autotune_block_size).
+tb::core::Thresholds tune(tbench::IBench& b, tbench::BlockedConfig cfg, int reps) {
+  std::printf("  tuning %s: ", b.name().c_str());
+  double best_time = 1e100;
+  tb::core::Thresholds best = cfg.th;
+  for (std::size_t block = static_cast<std::size_t>(b.q()); block <= (1u << 15); block *= 2) {
+    cfg.th = b.thresholds(block, std::min(b.default_restart(), block));
+    const double t = tbench::time_best([&] { (void)b.run_blocked(cfg); }, reps);
+    if (t < best_time) {
+      best_time = t;
+      best = cfg.th;
+    }
+  }
+  std::printf("best t_dfe=%zu (%.1f ms)\n", best.t_dfe, best_time * 1e3);
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "default");
+  auto suite = tbench::make_suite(scale);
+
+  if (flags.has("list")) {
+    std::printf("%-12s %-16s %4s %12s %12s\n", "benchmark", "problem", "Q", "def.block",
+                "def.restart");
+    for (const auto& b : suite) {
+      std::printf("%-12s %-16s %4d %12zu %12zu\n", b->name().c_str(), b->problem().c_str(),
+                  b->q(), b->default_block(), b->default_restart());
+    }
+    return 0;
+  }
+
+  const std::string filter = flags.get("bench");
+  const auto policy = parse_policy(flags.get("policy", "restart"));
+  const auto layer = parse_layer(flags.get("layer", "simd"));
+  const long block = flags.get_int("block", 0);
+  const long restart = flags.get_int("restart", 0);
+  const long workers = flags.get_int("workers", 0);
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+
+  const bool ideal = flags.get("policy") == "ideal";
+  if (workers > 0 && policy == tb::core::SeqPolicy::Basic) {
+    std::fprintf(stderr, "basic policy has no parallel scheduler; use reexp or restart\n");
+    return 1;
+  }
+  if (ideal && workers <= 0) {
+    std::fprintf(stderr, "--policy=ideal requires --workers=N\n");
+    return 1;
+  }
+
+  std::unique_ptr<tb::rt::ForkJoinPool> pool;
+  if (workers > 0 && !ideal) {
+    pool = std::make_unique<tb::rt::ForkJoinPool>(static_cast<int>(workers));
+  }
+
+  std::printf("%-12s | %9s %9s %7s | %6s %10s %8s %8s | %s\n", "benchmark", "Ts(s)", "run(s)",
+              "Ts/run", "util%", "steps", "steals", "space", "check");
+  int failures = 0;
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name())) continue;
+
+    tbench::BlockedConfig cfg;
+    cfg.policy = policy;
+    cfg.layer = layer;
+    cfg.pool = pool.get();
+    cfg.ideal_workers = ideal ? static_cast<int>(workers) : 0;
+    cfg.th = b->thresholds(static_cast<std::size_t>(block), static_cast<std::size_t>(restart));
+    if (flags.has("tune")) cfg.th = tune(*b, cfg, std::max(1, reps / 2));
+
+    std::string expected;
+    const double ts = tbench::time_best([&] { expected = b->run_sequential(); }, reps);
+    std::string got;
+    tb::core::ExecStats st;
+    const double tr = tbench::time_best(
+        [&] {
+          st = tb::core::ExecStats{};
+          got = b->run_blocked(cfg, &st);
+        },
+        reps);
+    const bool ok = got == expected;
+    failures += ok ? 0 : 1;
+    std::printf("%-12s | %9.4f %9.4f %7.2f | %6.1f %10llu %8llu %8llu | %s\n",
+                b->name().c_str(), ts, tr, ts / tr, st.simd_utilization() * 100.0,
+                static_cast<unsigned long long>(st.steps_total),
+                static_cast<unsigned long long>(st.steal_actions),
+                static_cast<unsigned long long>(st.peak_space_tasks),
+                ok ? "ok" : "MISMATCH");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Visualize how the blocked schedulers use a multicore machine over time.
+//
+// Simulates re-expansion and restart on P virtual cores (the §4 cost model:
+// a block of t tasks costs ceil(t/Q) steps, a steal attempt one step), then
+// renders an ASCII Gantt chart per policy — '#' full-width SIMD execution,
+// 'o' under-filled execution, 's' stealing, '.' idle — plus the SIMD
+// utilization over time.  Restart's merging visibly turns reexp's ragged
+// late-phase 'o' regions into dense '#' ones on unbalanced trees.
+//
+// Usage: ./trace_timeline [fib-depth] [cores] [block-size]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/comp_tree.hpp"
+#include "sim/par_sim.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+std::string sparkline(const std::vector<double>& xs) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  for (const double x : xs) {
+    const int idx = std::min(7, static_cast<int>(x * 8.0));
+    out += kLevels[idx < 0 ? 0 : idx];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int depth = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int block = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  const auto tree = tb::sim::CompTree::fib_tree(depth);
+  std::printf("fib(%d) call tree: %zu tasks, height %d, simulated on %d cores × Q=8, "
+              "t_dfe=%d\n\n",
+              depth, tree.num_nodes(), tree.height, cores, block);
+
+  for (const auto policy : {tb::sim::SimPolicy::Reexp, tb::sim::SimPolicy::Restart}) {
+    tb::sim::Trace trace;
+    tb::sim::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.p = cores;
+    cfg.q = 8;
+    cfg.t_dfe = static_cast<std::size_t>(block);
+    cfg.t_bfe = cfg.t_dfe;
+    cfg.t_restart = std::max<std::size_t>(cfg.t_dfe / 4, 1);
+    cfg.trace = &trace;
+    cfg.track_space = true;
+    const auto res = tb::sim::simulate(tree, cfg);
+
+    const auto check = tb::sim::check_trace(trace, cores, res.tasks, res.steps_total, cfg.q);
+    std::printf("=== %s ===  makespan %llu steps, utilization %.1f%%, %llu steals, "
+                "peak space %llu tasks%s\n",
+                tb::sim::to_string(policy), static_cast<unsigned long long>(res.makespan),
+                res.utilization() * 100.0, static_cast<unsigned long long>(res.steals),
+                static_cast<unsigned long long>(res.peak_space_tasks),
+                check.ok ? "" : "  [TRACE CHECK FAILED]");
+    std::printf("%s", tb::sim::render_timeline(trace, cores, cfg.q, 72).c_str());
+    std::printf("util  |%s|\n\n", sparkline(tb::sim::utilization_series(trace, cfg.q, 72)).c_str());
+  }
+  return 0;
+}

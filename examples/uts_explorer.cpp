@@ -1,0 +1,73 @@
+// Unbalanced Tree Search explorer: traverses a parameterized UTS tree with
+// all four parallel execution strategies (Cilk-style scalar, blocked
+// re-expansion, simplified restart, ideal restart) and reports wall time
+// plus runtime steal counts — the workload where dynamic load balancing
+// and vector density pull in opposite directions.
+//
+// Usage: ./uts_explorer [b0] [m] [q] [workers]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/uts.hpp"
+#include "core/driver.hpp"
+#include "core/ideal_restart.hpp"
+
+namespace {
+
+template <class F>
+double timed(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tb::apps::UtsParams params;
+  params.b0 = argc > 1 ? std::atoi(argv[1]) : 1000;
+  params.m = argc > 2 ? std::atoi(argv[2]) : 4;
+  params.q = argc > 3 ? std::atof(argv[3]) : 0.246;
+  const int workers = argc > 4 ? std::atoi(argv[4]) : 4;
+
+  tb::apps::UtsProgram prog(params);
+  const auto roots = prog.roots();
+  const auto info = tb::core::count_tree(prog, roots);
+  std::printf("uts: b0=%d m=%d q=%.4f -> %llu nodes, %llu leaves, %d levels\n", params.b0,
+              params.m, params.q, static_cast<unsigned long long>(info.tasks),
+              static_cast<unsigned long long>(info.leaves), info.levels);
+
+  using Exec = tb::core::SimdExec<tb::apps::UtsProgram>;
+  const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 2048, 128);
+
+  std::uint64_t leaves = 0;
+  double t = timed([&] { leaves = tb::apps::uts_sequential_all(prog); });
+  std::printf("%-16s %9.4fs  leaves=%llu\n", "sequential", t,
+              static_cast<unsigned long long>(leaves));
+
+  tb::rt::ForkJoinPool pool(workers);
+  t = timed([&] { leaves = tb::apps::uts_cilk(pool, prog); });
+  std::printf("%-16s %9.4fs  leaves=%llu  steals=%llu\n", "cilk-scalar", t,
+              static_cast<unsigned long long>(leaves),
+              static_cast<unsigned long long>(pool.total_steals()));
+
+  t = timed([&] { leaves = tb::core::run_par_reexp<Exec>(pool, prog, roots, th); });
+  std::printf("%-16s %9.4fs  leaves=%llu\n", "blocked-reexp", t,
+              static_cast<unsigned long long>(leaves));
+
+  tb::core::ExecStats st;
+  t = timed([&] { leaves = tb::core::run_par_restart<Exec>(pool, prog, roots, th, &st); });
+  std::printf("%-16s %9.4fs  leaves=%llu  merges=%llu\n", "blocked-restart", t,
+              static_cast<unsigned long long>(leaves),
+              static_cast<unsigned long long>(st.merges));
+
+  tb::core::ExecStats sti;
+  t = timed([&] {
+    leaves = tb::core::run_ideal_restart<Exec>(prog, roots, th, workers, &sti);
+  });
+  std::printf("%-16s %9.4fs  leaves=%llu  steal-actions=%llu\n", "ideal-restart", t,
+              static_cast<unsigned long long>(leaves),
+              static_cast<unsigned long long>(sti.steal_actions));
+  return 0;
+}

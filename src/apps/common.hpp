@@ -1,0 +1,39 @@
+// Shared helpers for the benchmark kernels' Cilk-style (scalar task
+// parallel) variants.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "runtime/forkjoin.hpp"
+
+namespace tb::apps {
+
+// Spawn `count` children: children 1..count-1 become stealable jobs, child 0
+// runs inline (the standard spawn-elision for the first child), then the
+// results are folded with `comb`.  `child(i)` computes child i's value.
+template <class R, class ChildFn, class CombineFn>
+R spawn_map_reduce(rt::ForkJoinPool& pool, int count, ChildFn child, R init, CombineFn comb) {
+  if (count == 0) return init;
+  std::vector<R> results(static_cast<std::size_t>(count), init);
+  struct Fn {
+    ChildFn* child;
+    R* out;
+    int i;
+    void operator()() const { *out = (*child)(i); }
+  };
+  std::deque<rt::SpawnJob<Fn>> jobs;  // deque: stable addresses, no moves
+  for (int i = 1; i < count; ++i) {
+    jobs.emplace_back(Fn{&child, &results[static_cast<std::size_t>(i)], i});
+    pool.push(jobs.back());
+  }
+  R total = init;
+  comb(total, child(0));
+  for (int i = count - 1; i >= 1; --i) {
+    pool.sync(jobs[static_cast<std::size_t>(i - 1)]);
+    comb(total, results[static_cast<std::size_t>(i)]);
+  }
+  return total;
+}
+
+}  // namespace tb::apps

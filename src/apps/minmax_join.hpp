@@ -1,0 +1,66 @@
+// True minimax on 4×4 tic-tac-toe via join frames.
+//
+// The Table 1 minmax benchmark reduces leaf statistics only, because the
+// paper's base-case-reduction model cannot pass values *through* internal
+// nodes (DESIGN.md documents the substitution).  With the JoinScheduler's
+// frames that restriction falls away: each position folds its children
+// with max (X to move) or min (O to move), yielding the game-theoretic
+// value of the position under blocked execution — the same computation
+// tree as the benchmark, now with sync semantics.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "apps/minmax.hpp"
+#include "core/join_scheduler.hpp"
+
+namespace tb::apps {
+
+struct MinmaxJoinProgram {
+  using Task = MinmaxProgram::Task;
+  using Value = std::int32_t;  // +1 X wins, -1 O wins, 0 draw/heuristic cutoff
+  static constexpr int max_children = MinmaxProgram::max_children;
+
+  MinmaxProgram inner;  // board mechanics, base-case rule, move generation
+
+  static bool x_to_move(const Task& t) {
+    return (std::popcount(t.x | t.o) & 1) == 0;
+  }
+
+  bool is_base(const Task& t) const { return inner.is_base(t); }
+
+  Value leaf_value(const Task& t) const {
+    if (MinmaxProgram::won(t.x)) return 1;
+    if (MinmaxProgram::won(t.o)) return -1;
+    return 0;  // draw, or the ply-cutoff heuristic
+  }
+
+  template <class Emit>
+  void expand(const Task& t, Emit&& emit) const {
+    inner.expand(t, emit);
+  }
+
+  // X maximizes, O minimizes; identities sit outside the value range.
+  Value join_identity(const Task& t) const { return x_to_move(t) ? -2 : 2; }
+  void combine(const Task& t, Value& acc, const Value& v) const {
+    acc = x_to_move(t) ? std::max(acc, v) : std::min(acc, v);
+  }
+  Value finalize(const Task&, const Value& acc) const { return acc; }
+
+  static Task root() { return MinmaxProgram::root(); }
+};
+
+// Plain recursive minimax — the oracle the blocked join execution must match.
+inline std::int32_t minmax_join_sequential(const MinmaxJoinProgram& prog,
+                                           const MinmaxJoinProgram::Task& t) {
+  if (prog.is_base(t)) return prog.leaf_value(t);
+  std::int32_t acc = prog.join_identity(t);
+  prog.expand(t, [&](int, const MinmaxJoinProgram::Task& c) {
+    prog.combine(t, acc, minmax_join_sequential(prog, c));
+  });
+  return acc;
+}
+
+}  // namespace tb::apps

@@ -1,0 +1,152 @@
+// Block-size auto-tuner.
+//
+// The paper's Table 1 reports a hand-found "best block size" per benchmark
+// (2^9–2^14) and §3.5 leaves threshold selection to the user.  This module
+// automates that search: it sweeps t_dfe over powers of two, measures the
+// actual scheduler on the actual program (wall time, SIMD utilization, peak
+// space), geometrically refines around the winner, and returns the best
+// thresholds plus the full sample table — so "best block size" becomes an
+// output of the library instead of an input.
+//
+// The search measures whole runs over the supplied roots; callers control
+// tuning cost by choosing a representative (smaller) root set, exactly like
+// any profile-guided setup run.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/seq_scheduler.hpp"
+#include "core/stats.hpp"
+#include "core/thresholds.hpp"
+
+namespace tb::core {
+
+struct TuneSample {
+  std::size_t t_dfe = 0;
+  std::size_t t_restart = 0;
+  double seconds = 0;
+  double utilization = 0;
+  std::uint64_t peak_space_tasks = 0;
+};
+
+struct TuneOptions {
+  int q = 8;
+  SeqPolicy policy = SeqPolicy::Restart;
+  std::size_t min_block = 0;            // 0 = Q
+  std::size_t max_block = std::size_t{1} << 16;
+  int reps = 2;                         // best-of-N timing per candidate
+  bool refine = true;                   // probe geometric midpoints around the winner
+  double restart_fraction = 1.0 / 16;   // t_restart = max(frac·t_dfe, 1)
+};
+
+struct TuneReport {
+  Thresholds best;
+  double best_seconds = 0;
+  std::vector<TuneSample> samples;  // in evaluation order
+
+  // Render the sample table (block, time, utilization, space) for reports.
+  std::string to_string() const {
+    std::string out = "  t_dfe  t_restart   seconds   util%   peak-space\n";
+    char line[128];
+    for (const TuneSample& s : samples) {
+      std::snprintf(line, sizeof line, "%7zu %10zu %9.5f %7.1f %12llu%s\n", s.t_dfe,
+                    s.t_restart, s.seconds, s.utilization * 100.0,
+                    static_cast<unsigned long long>(s.peak_space_tasks),
+                    s.t_dfe == best.t_dfe ? "  <-- best" : "");
+      out += line;
+    }
+    return out;
+  }
+};
+
+namespace detail {
+
+template <class Exec>
+TuneSample measure_candidate(const typename Exec::Program& p,
+                             std::span<const typename Exec::Program::Task> roots,
+                             const TuneOptions& opts, std::size_t block) {
+  TuneSample s;
+  s.t_dfe = block;
+  s.t_restart = std::max<std::size_t>(
+      static_cast<std::size_t>(opts.restart_fraction * static_cast<double>(block)), 1);
+  Thresholds th;
+  th.q = opts.q;
+  th.t_dfe = block;
+  th.t_bfe = block;  // k1 ≈ k, the §4.1 recommendation
+  th.t_restart = s.t_restart;
+  s.seconds = 1e100;
+  for (int r = 0; r < std::max(opts.reps, 1); ++r) {
+    ExecStats st;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)run_seq<Exec>(p, roots, opts.policy, th, &st);
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    if (dt.count() < s.seconds) {
+      s.seconds = dt.count();
+      s.utilization = st.simd_utilization();
+      s.peak_space_tasks = st.peak_space_tasks;
+    }
+  }
+  return s;
+}
+
+}  // namespace detail
+
+// Tune t_dfe (and the derived t_restart/t_bfe) for one program + execution
+// layer under `opts.policy`.  Deterministic apart from timing noise; the
+// returned report lists every candidate evaluated.
+template <class Exec>
+TuneReport autotune_block_size(const typename Exec::Program& p,
+                               std::span<const typename Exec::Program::Task> roots,
+                               TuneOptions opts = {}) {
+  TuneReport rep;
+  const std::size_t lo = std::max<std::size_t>(
+      opts.min_block ? opts.min_block : static_cast<std::size_t>(opts.q), 1);
+  const std::size_t hi = std::max(opts.max_block, lo);
+
+  // Coarse pass: powers of two.
+  std::size_t best_block = lo;
+  double best_time = 1e100;
+  for (std::size_t block = lo; block <= hi; block *= 2) {
+    const TuneSample s = detail::measure_candidate<Exec>(p, roots, opts, block);
+    rep.samples.push_back(s);
+    if (s.seconds < best_time) {
+      best_time = s.seconds;
+      best_block = block;
+    }
+    if (block > hi / 2) break;  // avoid overflow past hi
+  }
+
+  // Refinement: geometric midpoints between the winner and its octave
+  // neighbours (≈ ±√2), clamped to the search range.
+  if (opts.refine) {
+    for (const double factor : {0.7071, 1.4142}) {
+      const auto cand = static_cast<std::size_t>(static_cast<double>(best_block) * factor);
+      const std::size_t block = std::clamp(cand, lo, hi);
+      if (block == best_block) continue;
+      const TuneSample s = detail::measure_candidate<Exec>(p, roots, opts, block);
+      rep.samples.push_back(s);
+      if (s.seconds < best_time) {
+        best_time = s.seconds;
+        best_block = block;
+      }
+    }
+  }
+
+  rep.best.q = opts.q;
+  rep.best.t_dfe = best_block;
+  rep.best.t_bfe = best_block;
+  rep.best.t_restart = std::max<std::size_t>(
+      static_cast<std::size_t>(opts.restart_fraction * static_cast<double>(best_block)), 1);
+  rep.best = rep.best.clamped();
+  rep.best_seconds = best_time;
+  return rep;
+}
+
+}  // namespace tb::core

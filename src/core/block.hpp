@@ -1,0 +1,73 @@
+// Array-of-structures task block.
+//
+// The baseline blocked layout (Table 2's "Block" rung): tasks stored as
+// whole structs in one contiguous array.  Interface-compatible with
+// simd::SoaBlock so the schedulers are layout-agnostic.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "simd/aligned.hpp"
+
+namespace tb::core {
+
+template <class TaskT>
+class AosBlock {
+public:
+  using task_type = TaskT;
+
+  AosBlock() = default;
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  int level() const { return level_; }
+  void set_level(int lvl) { level_ = lvl; }
+
+  void clear() { tasks_.clear(); }
+  void reserve(std::size_t cap) { tasks_.reserve(cap); }
+  void ensure_slack(std::size_t n) { tasks_.reserve(tasks_.size() + n); }
+
+  void push_back(const TaskT& t) { tasks_.push_back(t); }
+
+  const TaskT& operator[](std::size_t i) const { return tasks_[i]; }
+  TaskT& operator[](std::size_t i) { return tasks_[i]; }
+
+  void append(const AosBlock& o) {
+    tasks_.insert(tasks_.end(), o.tasks_.begin(), o.tasks_.end());
+  }
+  void append(AosBlock&& o) {
+    if (tasks_.empty()) {
+      const int lvl = level_;
+      tasks_ = std::move(o.tasks_);
+      level_ = lvl;
+    } else {
+      append(static_cast<const AosBlock&>(o));
+    }
+    o.tasks_.clear();
+  }
+
+  // Move up to `max_n` tasks from the back of `src` onto this block.
+  std::size_t take_from(AosBlock& src, std::size_t max_n) {
+    const std::size_t n = std::min(max_n, src.tasks_.size());
+    tasks_.insert(tasks_.end(), src.tasks_.end() - static_cast<std::ptrdiff_t>(n),
+                  src.tasks_.end());
+    src.tasks_.resize(src.tasks_.size() - n);
+    return n;
+  }
+
+  void swap(AosBlock& o) noexcept {
+    tasks_.swap(o.tasks_);
+    std::swap(level_, o.level_);
+  }
+
+private:
+  simd::aligned_vector<TaskT> tasks_;
+  int level_ = 0;
+};
+
+}  // namespace tb::core

@@ -1,0 +1,119 @@
+// Convenience entry points: build root blocks, census a computation tree,
+// and run any scheduler/policy over a set of root tasks with §5.3
+// strip-mining (a data-parallel outer loop contributes its iterations as
+// root tasks; oversized root sets are sliced into t_dfe-sized initial
+// blocks handed to the scheduler one after another).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/par_reexp.hpp"
+#include "core/par_restart.hpp"
+#include "core/program.hpp"
+#include "core/seq_scheduler.hpp"
+
+namespace tb::core {
+
+struct TreeInfo {
+  std::uint64_t tasks = 0;
+  std::uint64_t leaves = 0;
+  int levels = 0;  // number of levels (root level counts as 1)
+};
+
+// Exact census of the computation tree by iterative depth-first walk.
+template <TaskProgram P>
+TreeInfo count_tree(const P& p, std::span<const typename P::Task> roots) {
+  using Task = typename P::Task;
+  TreeInfo info;
+  std::vector<std::pair<Task, int>> stack;
+  for (const Task& t : roots) stack.emplace_back(t, 0);
+  while (!stack.empty()) {
+    auto [t, depth] = stack.back();
+    stack.pop_back();
+    ++info.tasks;
+    info.levels = std::max(info.levels, depth + 1);
+    if (p.is_base(t)) {
+      ++info.leaves;
+    } else {
+      p.expand(t, [&](int, const Task& c) { stack.emplace_back(c, depth + 1); });
+    }
+  }
+  return info;
+}
+
+template <class Exec>
+typename Exec::Block make_block(std::span<const typename Exec::Program::Task> tasks,
+                                int level = 0) {
+  typename Exec::Block b;
+  b.set_level(level);
+  b.reserve(tasks.size());
+  for (const auto& t : tasks) Exec::append_task(b, t);
+  return b;
+}
+
+namespace detail {
+template <class Exec, class RunChunk>
+typename Exec::Program::Result strip_mine(std::span<const typename Exec::Program::Task> roots,
+                                          std::size_t strip, RunChunk&& run_chunk) {
+  using P = typename Exec::Program;
+  typename P::Result total = P::identity();
+  if (strip == 0) strip = roots.size();
+  for (std::size_t off = 0; off < roots.size(); off += strip) {
+    const std::size_t n = std::min(strip, roots.size() - off);
+    auto block = make_block<Exec>(roots.subspan(off, n));
+    typename P::Result r = run_chunk(std::move(block));
+    P::combine(total, r);
+  }
+  return total;
+}
+}  // namespace detail
+
+// Sequential execution under a policy.  `strip` = 0 means "one initial
+// block per t_dfe root tasks" (§5.3 default).
+template <class Exec>
+typename Exec::Program::Result run_seq(const typename Exec::Program& p,
+                                       std::span<const typename Exec::Program::Task> roots,
+                                       SeqPolicy policy, const Thresholds& th,
+                                       ExecStats* stats = nullptr, std::size_t strip = 0) {
+  SeqScheduler<Exec> sched(p, th, policy);
+  if (strip == 0) strip = sched.thresholds().t_dfe;
+  return detail::strip_mine<Exec>(roots, strip, [&](typename Exec::Block block) {
+    return sched.run(std::move(block), stats);
+  });
+}
+
+template <class Exec>
+typename Exec::Program::Result run_par_reexp(
+    rt::ForkJoinPool& pool, const typename Exec::Program& p,
+    std::span<const typename Exec::Program::Task> roots, const Thresholds& th,
+    ExecStats* stats = nullptr, std::size_t strip = 0) {
+  ParReexp<Exec> sched(pool, p, th);
+  if (strip == 0) strip = th.clamped().t_dfe;
+  return detail::strip_mine<Exec>(roots, strip, [&](typename Exec::Block block) {
+    ExecStats chunk;
+    auto r = sched.run(std::move(block), stats ? &chunk : nullptr);
+    if (stats) stats->merge(chunk);
+    return r;
+  });
+}
+
+template <class Exec>
+typename Exec::Program::Result run_par_restart(
+    rt::ForkJoinPool& pool, const typename Exec::Program& p,
+    std::span<const typename Exec::Program::Task> roots, const Thresholds& th,
+    ExecStats* stats = nullptr, std::size_t strip = 0, bool elide_merges = true) {
+  ParRestart<Exec> sched(pool, p, th, elide_merges);
+  if (strip == 0) strip = th.clamped().t_dfe;
+  return detail::strip_mine<Exec>(roots, strip, [&](typename Exec::Block block) {
+    ExecStats chunk;
+    auto r = sched.run(std::move(block), stats ? &chunk : nullptr);
+    if (stats) stats->merge(chunk);
+    return r;
+  });
+}
+
+}  // namespace tb::core

@@ -1,0 +1,225 @@
+// "Ideal" parallel restart scheduler — Fig. 3b and the §3.4 steal protocol.
+//
+// The paper formulates this strategy (per-worker leveled deques of task
+// blocks and restart blocks, block stealing with bounded BFE regrowth) but
+// implements only the simplified Cilk mapping, noting that exposing both
+// the continuation and the restart blocks for stealing "does not naturally
+// map to Cilk-like programming models".  Because our runtime is not bound
+// to spawn/sync, we can implement the ideal strategy directly — this is the
+// extension scheduler whose space bound is h·k·Q per worker (Lemma 8)
+// rather than the simplified version's h²·t_restart.
+//
+// Each worker owns a leveled deque protected by a small mutex (blocks are
+// coarse-grained, so the lock is not a throughput concern); thieves lock
+// the victim's deque and take its top (shallowest) block, per §3.4:
+//   - a stolen block with >= t_restart tasks is executed depth-first;
+//   - a sparse stolen block is regrown with a bounded number of BFE actions,
+//     then re-scanned, else the worker steals again.
+// Termination uses a global outstanding-task count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/block_pool.hpp"
+#include "core/leveled_deque.hpp"
+#include "core/program.hpp"
+#include "core/stats.hpp"
+#include "core/thresholds.hpp"
+#include "runtime/xoshiro.hpp"
+
+namespace tb::core {
+
+template <class Exec>
+class IdealRestart {
+public:
+  using Program = typename Exec::Program;
+  using Block = typename Exec::Block;
+  using Result = typename Program::Result;
+  static constexpr std::size_t C = static_cast<std::size_t>(Exec::out_degree);
+
+  IdealRestart(const Program& p, Thresholds th, int workers, int bfe_after_steal = 2)
+      : prog_(p), th_(th.clamped()), workers_(static_cast<std::size_t>(std::max(1, workers))),
+        bfe_after_steal_(bfe_after_steal) {}
+
+  Result run(Block roots, ExecStats* stats = nullptr) {
+    const std::size_t p = workers_;
+    states_.clear();
+    states_.reserve(p);
+    for (std::size_t w = 0; w < p; ++w) states_.push_back(std::make_unique<WorkerState>());
+    outstanding_.store(static_cast<std::int64_t>(roots.size()), std::memory_order_relaxed);
+
+    {
+      std::lock_guard lock(states_[0]->mu);
+      states_[0]->deque.push_merge(std::move(roots));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(p - 1);
+    for (std::size_t w = 1; w < p; ++w) {
+      threads.emplace_back([this, w] { worker(static_cast<int>(w)); });
+    }
+    worker(0);
+    for (auto& t : threads) t.join();
+
+    Result total = Program::identity();
+    ExecStats merged;
+    for (auto& s : states_) {
+      Program::combine(total, s->result);
+      merged.merge(s->stats);
+    }
+    if (stats) *stats = merged;
+    return total;
+  }
+
+private:
+  struct WorkerState {
+    std::mutex mu;  // guards deque
+    LeveledDeque<Block> deque;
+    Result result = Program::identity();
+    ExecStats stats;
+    rt::Xoshiro256 rng;
+  };
+
+  void worker(int id) {
+    WorkerState& self = *states_[static_cast<std::size_t>(id)];
+    self.rng = rt::Xoshiro256(0x51ede5 + 0x9e37u * static_cast<unsigned>(id));
+    Block cur;
+    bool has_cur = false;
+    int bfe_budget = 0;
+    BlockPool<Block> pool;
+
+    while (outstanding_.load(std::memory_order_acquire) > 0) {
+      if (!has_cur) {
+        // Scan own deque for a dense merged level (restart action).
+        {
+          std::lock_guard lock(self.mu);
+          if (self.deque.restart_scan(th_.t_restart, cur, 2 * th_.t_dfe) ==
+              LeveledDeque<Block>::Scan::Dense) {
+            has_cur = true;
+            bfe_budget = 0;
+          } else if (!cur.empty()) {
+            // Scan handed back a sparse top block: put it back; stealing
+            // decides what to do next (§3.4 — the parallel scheduler steals
+            // instead of BFE-ing its own sparse top).
+            self.deque.push_merge(std::move(cur));
+          }
+        }
+        if (!has_cur) {
+          self.stats.on_action(Action::Steal);
+          if (!steal(self, cur)) {
+            std::this_thread::yield();
+            continue;
+          }
+          has_cur = true;
+          bfe_budget = (cur.size() < th_.t_restart) ? bfe_after_steal_ : 0;
+        }
+      }
+
+      if (bfe_budget > 0 && cur.size() < th_.t_restart) {
+        // Regrow a sparse stolen block with a bounded number of BFEs.
+        bfe_step(self, cur, pool);
+        --bfe_budget;
+        if (cur.empty()) has_cur = false;
+        continue;
+      }
+      if (cur.size() < th_.t_restart) {
+        // Still sparse: park and go find denser work.
+        self.stats.on_action(Action::Restart);
+        std::lock_guard lock(self.mu);
+        self.deque.push_merge(std::move(cur));
+        has_cur = false;
+        continue;
+      }
+      dfe_step(self, cur, pool);
+      if (cur.empty()) has_cur = false;
+    }
+  }
+
+  void bfe_step(WorkerState& self, Block& cur, BlockPool<Block>& pool) {
+    Block next = pool.get(cur.level() + 1);
+    std::array<Block*, C> outs;
+    outs.fill(&next);
+    const std::size_t executed = cur.size();
+    std::uint64_t leaves_before = self.stats.leaves;
+    Exec::expand_into(prog_, cur, 0, cur.size(), outs, self.result, self.stats.leaves);
+    self.stats.on_block_executed(executed, th_.q, th_.t_restart);
+    self.stats.on_action(Action::BFE);
+    retire(executed, self.stats.leaves - leaves_before, next.size());
+    pool.put(std::move(cur));
+    cur = std::move(next);
+  }
+
+  void dfe_step(WorkerState& self, Block& cur, BlockPool<Block>& pool) {
+    std::array<Block, C> kids;
+    std::array<Block*, C> outs;
+    for (std::size_t s = 0; s < C; ++s) {
+      kids[s] = pool.get(cur.level() + 1);
+      outs[s] = &kids[s];
+    }
+    const std::size_t executed = cur.size();
+    std::uint64_t leaves_before = self.stats.leaves;
+    Exec::expand_into(prog_, cur, 0, cur.size(), outs, self.result, self.stats.leaves);
+    self.stats.on_block_executed(executed, th_.q, th_.t_restart);
+    self.stats.on_action(Action::DFE);
+    std::size_t spawned = 0;
+    {
+      std::lock_guard lock(self.mu);
+      for (std::size_t s = C; s-- > 1;) {
+        spawned += kids[s].size();
+        if (kids[s].empty()) {
+          pool.put(std::move(kids[s]));
+        } else {
+          self.deque.push_merge(std::move(kids[s]));
+        }
+      }
+    }
+    spawned += kids[0].size();
+    retire(executed, self.stats.leaves - leaves_before, spawned);
+    pool.put(std::move(cur));
+    cur = std::move(kids[0]);
+  }
+
+  // Account for `executed` finished tasks producing `spawned` new ones.
+  void retire(std::size_t executed, std::uint64_t /*leaves*/, std::size_t spawned) {
+    const auto delta =
+        static_cast<std::int64_t>(spawned) - static_cast<std::int64_t>(executed);
+    outstanding_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  // §3.4 steal: random victim (possibly self — that covers the sequential
+  // policy's BFE-at-top case), take the top block of its deque.
+  bool steal(WorkerState& self, Block& out) {
+    const auto victim_id = self.rng.below(static_cast<std::uint32_t>(states_.size()));
+    WorkerState& victim = *states_[victim_id];
+    std::lock_guard lock(victim.mu);
+    return victim.deque.steal_shallowest(out, 2 * th_.t_dfe);
+  }
+
+  const Program& prog_;
+  Thresholds th_;
+  std::size_t workers_;
+  int bfe_after_steal_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::atomic<std::int64_t> outstanding_{0};
+};
+
+// Convenience wrapper mirroring run_seq / run_par_* in driver.hpp.
+template <class Exec>
+typename Exec::Program::Result run_ideal_restart(
+    const typename Exec::Program& p, std::span<const typename Exec::Program::Task> roots,
+    const Thresholds& th, int workers, ExecStats* stats = nullptr) {
+  typename Exec::Block block;
+  block.set_level(0);
+  block.reserve(roots.size());
+  for (const auto& t : roots) Exec::append_task(block, t);
+  IdealRestart<Exec> sched(p, th, workers);
+  return sched.run(std::move(block), stats);
+}
+
+}  // namespace tb::core

@@ -1,0 +1,88 @@
+// Execution statistics for task-block schedulers.
+//
+// The units mirror §4 of the paper: a *step* executes up to Q tasks in one
+// SIMD operation (complete if exactly Q), a *superstep* is the execution of
+// one whole task block, and a superstep is *partial* when the block had
+// fewer than t_restart tasks.  SIMD utilization — the y-axis of Figure 4 —
+// is complete steps / total steps.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace tb::core {
+
+enum class Action : std::uint8_t { BFE = 0, DFE = 1, Restart = 2, Steal = 3 };
+
+struct ExecStats {
+  std::uint64_t steps_total = 0;
+  std::uint64_t steps_complete = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t partial_supersteps = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t leaves = 0;
+
+  std::uint64_t bfe_actions = 0;
+  std::uint64_t dfe_actions = 0;
+  std::uint64_t restart_actions = 0;
+  std::uint64_t steal_actions = 0;
+  std::uint64_t merges = 0;
+
+  std::uint64_t max_block_size = 0;
+  std::uint64_t peak_space_tasks = 0;  // max total tasks resident in blocks
+  std::uint64_t peak_frames = 0;       // max live join frames (JoinScheduler only)
+
+  // Record the SIMD-step accounting for executing a block of `t` tasks on a
+  // Q-lane unit, classified against the partial-superstep threshold.
+  void on_block_executed(std::size_t t, int q, std::size_t partial_threshold) {
+    if (t == 0) return;
+    const std::uint64_t tu = t;
+    const std::uint64_t qu = static_cast<std::uint64_t>(q);
+    steps_total += (tu + qu - 1) / qu;
+    steps_complete += tu / qu;
+    supersteps += 1;
+    partial_supersteps += (tu < partial_threshold) ? 1 : 0;
+    tasks_executed += tu;
+    max_block_size = std::max(max_block_size, tu);
+  }
+
+  void on_action(Action a) {
+    switch (a) {
+      case Action::BFE: ++bfe_actions; break;
+      case Action::DFE: ++dfe_actions; break;
+      case Action::Restart: ++restart_actions; break;
+      case Action::Steal: ++steal_actions; break;
+    }
+  }
+
+  void note_space(std::uint64_t resident_tasks) {
+    peak_space_tasks = std::max(peak_space_tasks, resident_tasks);
+  }
+
+  double simd_utilization() const {
+    return steps_total == 0 ? 1.0
+                            : static_cast<double>(steps_complete) /
+                                  static_cast<double>(steps_total);
+  }
+
+  ExecStats& merge(const ExecStats& o) {
+    steps_total += o.steps_total;
+    steps_complete += o.steps_complete;
+    supersteps += o.supersteps;
+    partial_supersteps += o.partial_supersteps;
+    tasks_executed += o.tasks_executed;
+    leaves += o.leaves;
+    bfe_actions += o.bfe_actions;
+    dfe_actions += o.dfe_actions;
+    restart_actions += o.restart_actions;
+    steal_actions += o.steal_actions;
+    merges += o.merges;
+    max_block_size = std::max(max_block_size, o.max_block_size);
+    peak_space_tasks = std::max(peak_space_tasks, o.peak_space_tasks);
+    peak_frames = std::max(peak_frames, o.peak_frames);
+    return *this;
+  }
+};
+
+}  // namespace tb::core

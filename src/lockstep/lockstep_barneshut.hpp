@@ -1,0 +1,116 @@
+// Barnes-Hut force computation under the lockstep model: one body per lane,
+// shared octree walk, per-frame opening threshold (d² divides by 4 per
+// level — the traversal payload).
+//
+// At each cell, lanes far enough for the center-of-mass approximation take
+// it immediately and leave the subtree; near lanes descend.  Leaves direct-
+// sum their bodies against all live lanes.  The terminal-interaction count
+// is bit-identical to the recursive formulation (same criterion per
+// (body, cell) pair); accumulated forces agree to floating-point
+// reassociation tolerance, since the traversal order differs.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "apps/barneshut.hpp"
+#include "lockstep/lockstep.hpp"
+#include "simd/batch.hpp"
+
+namespace tb::lockstep {
+
+inline std::uint64_t lockstep_barneshut(const apps::BarnesHutProgram& prog, float theta,
+                                        LockstepStats* stats = nullptr) {
+  constexpr int W = apps::BarnesHutProgram::simd_width;
+  using BF = simd::batch<float, W>;
+  const spatial::Octree& tree = *prog.tree;
+  const spatial::Bodies& bodies = *prog.bodies;
+  const BF eps2 = BF::broadcast(prog.eps2);
+  const std::size_t n = bodies.size();
+
+  std::uint64_t interactions = 0;
+  for (std::size_t b0 = 0; b0 < n; b0 += W) {
+    const int lanes = static_cast<int>(std::min<std::size_t>(W, n - b0));
+    const std::uint32_t init = lanes == W ? simd::mask_all<W> : ((1u << lanes) - 1u);
+    BF qx, qy, qz;
+    std::int32_t bid[W];
+    for (int l = 0; l < W; ++l) {
+      const std::size_t b = b0 + static_cast<std::size_t>(l < lanes ? l : 0);
+      bid[l] = static_cast<std::int32_t>(b);
+      qx.set(l, bodies.x[b]);
+      qy.set(l, bodies.y[b]);
+      qz.set(l, bodies.z[b]);
+    }
+    BF fx = BF::zero(), fy = BF::zero(), fz = BF::zero();
+
+    traverse<W, float>(
+        tree.root, init, prog.root_d2(theta),
+        [&](std::int32_t node, std::int32_t* out) {
+          int c = 0;
+          for (const std::int32_t kid : tree.children[static_cast<std::size_t>(node)]) {
+            if (kid != spatial::Octree::kNoChild) out[c++] = kid;
+          }
+          return c;
+        },
+        [&](std::int32_t node, std::uint32_t mask, float d2) {
+          const auto nn = static_cast<std::size_t>(node);
+          const BF dx = BF::broadcast(tree.com_x[nn]) - qx;
+          const BF dy = BF::broadcast(tree.com_y[nn]) - qy;
+          const BF dz = BF::broadcast(tree.com_z[nn]) - qz;
+          const BF dr2 = dx * dx + dy * dy + dz * dz;
+          const std::uint32_t far = mask & simd::cmp_ge(dr2, BF::broadcast(d2));
+          if (far != 0) {
+            // Far lanes: one interaction with the cell's center of mass.
+            interactions += std::popcount(far);
+            const BF r2 = dr2 + eps2;
+            BF f;
+            for (int l = 0; l < W; ++l) {
+              const float inv = 1.0f / std::sqrt(r2[l]);
+              f.set(l, tree.mass[nn] * inv * inv * inv);
+            }
+            const BF zero = BF::zero();
+            fx += simd::select(far, f * dx, zero);
+            fy += simd::select(far, f * dy, zero);
+            fz += simd::select(far, f * dz, zero);
+          }
+          const std::uint32_t near_lanes = mask & ~far;
+          if (near_lanes == 0) return std::pair{0u, d2 * 0.25f};
+          if (!tree.is_leaf(node)) return std::pair{near_lanes, d2 * 0.25f};
+          // Leaf: direct sum of the leaf's bodies against the near lanes.
+          interactions += std::popcount(near_lanes);
+          for (std::int32_t j = tree.leaf_begin[nn]; j < tree.leaf_end[nn]; ++j) {
+            const auto bj = static_cast<std::size_t>(
+                tree.body_index[static_cast<std::size_t>(j)]);
+            const BF bx = BF::broadcast(bodies.x[bj]) - qx;
+            const BF by = BF::broadcast(bodies.y[bj]) - qy;
+            const BF bz = BF::broadcast(bodies.z[bj]) - qz;
+            const BF r2 = bx * bx + by * by + bz * bz + eps2;
+            // Mask out the self lane (a body never attracts itself).
+            std::uint32_t m = near_lanes;
+            for (int l = 0; l < W; ++l) {
+              if (bid[l] == static_cast<std::int32_t>(bj)) m &= ~(1u << l);
+            }
+            if (m == 0) continue;
+            BF f;
+            for (int l = 0; l < W; ++l) {
+              const float inv = 1.0f / std::sqrt(r2[l]);
+              f.set(l, bodies.mass[bj] * inv * inv * inv);
+            }
+            const BF zero = BF::zero();
+            fx += simd::select(m, f * bx, zero);
+            fy += simd::select(m, f * by, zero);
+            fz += simd::select(m, f * bz, zero);
+          }
+          return std::pair{0u, d2 * 0.25f};
+        },
+        stats);
+
+    for (int l = 0; l < lanes; ++l) {
+      prog.add_force(bid[l], fx[l], fy[l], fz[l]);
+    }
+  }
+  return interactions;
+}
+
+}  // namespace tb::lockstep

@@ -1,0 +1,92 @@
+// k-nearest-neighbor search under the lockstep model: one query per lane,
+// shared kd-tree walk, per-lane shrinking pruning bounds.
+//
+// The bound (current k-th best distance) is reloaded from the shared state
+// at every node visit, so a lane benefits from its own earlier leaf visits
+// exactly as the recursive traversal does.  The final k-best lists are
+// schedule-independent — the same (query, point) distances are offered —
+// so results match the recursive formulation; only the visit counts (the
+// pruning efficiency) differ with traversal order.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "apps/knn.hpp"
+#include "lockstep/lockstep.hpp"
+#include "simd/batch.hpp"
+
+namespace tb::lockstep {
+
+inline void lockstep_knn(const apps::KnnProgram& prog, LockstepStats* stats = nullptr) {
+  constexpr int W = apps::KnnProgram::simd_width;
+  using BF = simd::batch<float, W>;
+  const spatial::KdTree& tree = *prog.tree;
+  const spatial::Bodies& pts = *prog.points;
+  apps::KnnState& state = *prog.state;
+  const BF zero = BF::zero();
+  const std::size_t n = pts.size();
+
+  for (std::size_t q0 = 0; q0 < n; q0 += W) {
+    const int lanes = static_cast<int>(std::min<std::size_t>(W, n - q0));
+    const std::uint32_t init = lanes == W ? simd::mask_all<W> : ((1u << lanes) - 1u);
+    BF qx, qy, qz;
+    std::int32_t qid[W];
+    for (int l = 0; l < W; ++l) {
+      const std::size_t q = q0 + static_cast<std::size_t>(l < lanes ? l : 0);
+      qid[l] = static_cast<std::int32_t>(q);
+      qx.set(l, pts.x[q]);
+      qy.set(l, pts.y[q]);
+      qz.set(l, pts.z[q]);
+    }
+
+    traverse<W>(
+        tree.root, init,
+        [&](std::int32_t node, std::int32_t* out) {
+          int c = 0;
+          const auto nn = static_cast<std::size_t>(node);
+          if (tree.left[nn] != spatial::KdTree::kNoChild) out[c++] = tree.left[nn];
+          if (tree.right[nn] != spatial::KdTree::kNoChild) out[c++] = tree.right[nn];
+          return c;
+        },
+        [&](std::int32_t node, std::uint32_t mask) -> std::uint32_t {
+          const auto nn = static_cast<std::size_t>(node);
+          // Per-lane pruning bound, reloaded so earlier inserts tighten it.
+          BF bound;
+          for (int l = 0; l < W; ++l) bound.set(l, state.bound(qid[l]));
+          const BF lox = BF::broadcast(tree.min_x[nn]) - qx;
+          const BF hix = qx - BF::broadcast(tree.max_x[nn]);
+          const BF loy = BF::broadcast(tree.min_y[nn]) - qy;
+          const BF hiy = qy - BF::broadcast(tree.max_y[nn]);
+          const BF loz = BF::broadcast(tree.min_z[nn]) - qz;
+          const BF hiz = qz - BF::broadcast(tree.max_z[nn]);
+          const BF dx = BF::max(BF::max(lox, hix), zero);
+          const BF dy = BF::max(BF::max(loy, hiy), zero);
+          const BF dz = BF::max(BF::max(loz, hiz), zero);
+          const std::uint32_t live =
+              mask & simd::cmp_lt(dx * dx + dy * dy + dz * dz, bound);
+          if (live == 0 || !tree.is_leaf(node)) return live;
+          // Leaf: offer every leaf point to every live lane (vector distance,
+          // scalar sorted-list insertion — the insertion is inherently
+          // sequential per lane, as in the prior-work systems).
+          for (std::int32_t j = tree.leaf_begin[nn]; j < tree.leaf_end[nn]; ++j) {
+            const auto jj = static_cast<std::size_t>(j);
+            const std::int32_t id = tree.point_index[jj];
+            const BF dxp = BF::broadcast(tree.px[jj]) - qx;
+            const BF dyp = BF::broadcast(tree.py[jj]) - qy;
+            const BF dzp = BF::broadcast(tree.pz[jj]) - qz;
+            const BF d2 = dxp * dxp + dyp * dyp + dzp * dzp;
+            std::uint32_t m = live;
+            while (m != 0) {
+              const int l = std::countr_zero(m);
+              m &= m - 1;
+              if (id != qid[l]) state.offer(qid[l], id, d2[l]);
+            }
+          }
+          return 0;
+        },
+        stats);
+  }
+}
+
+}  // namespace tb::lockstep

@@ -1,0 +1,85 @@
+// Point correlation under the lockstep (data-parallel-only) model: one
+// query per SIMD lane, all lanes walking the kd-tree in one shared order.
+//
+// The node being visited is uniform across lanes, so the box–ball test
+// broadcasts the node's bounds against the lanes' query coordinates (no
+// gathers — the locality advantage of this model), and a leaf's points
+// stream against all lanes at once.  The cost is divergence: a lane whose
+// ball misses the current subtree idles until the traversal leaves it.
+// Counts are bit-identical to the recursive formulation — the pruning
+// criterion per (query, node) pair is the same.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "apps/pointcorr.hpp"
+#include "lockstep/lockstep.hpp"
+#include "simd/batch.hpp"
+
+namespace tb::lockstep {
+
+inline std::uint64_t lockstep_pointcorr(const apps::PointCorrProgram& prog,
+                                        LockstepStats* stats = nullptr) {
+  constexpr int W = apps::PointCorrProgram::simd_width;
+  using BF = simd::batch<float, W>;
+  const spatial::KdTree& tree = *prog.tree;
+  const spatial::Bodies& pts = *prog.points;
+  const BF r2 = BF::broadcast(prog.rad2);
+  const BF zero = BF::zero();
+  const std::size_t n = pts.size();
+
+  std::uint64_t total = 0;
+  for (std::size_t q0 = 0; q0 < n; q0 += W) {
+    const int lanes = static_cast<int>(std::min<std::size_t>(W, n - q0));
+    const std::uint32_t init =
+        lanes == W ? simd::mask_all<W> : ((1u << lanes) - 1u);
+    BF qx, qy, qz;
+    for (int l = 0; l < W; ++l) {
+      const std::size_t q = q0 + static_cast<std::size_t>(l < lanes ? l : 0);
+      qx.set(l, pts.x[q]);
+      qy.set(l, pts.y[q]);
+      qz.set(l, pts.z[q]);
+    }
+
+    traverse<W>(
+        tree.root, init,
+        [&](std::int32_t node, std::int32_t* out) {
+          int c = 0;
+          const auto nn = static_cast<std::size_t>(node);
+          if (tree.left[nn] != spatial::KdTree::kNoChild) out[c++] = tree.left[nn];
+          if (tree.right[nn] != spatial::KdTree::kNoChild) out[c++] = tree.right[nn];
+          return c;
+        },
+        [&](std::int32_t node, std::uint32_t mask) -> std::uint32_t {
+          const auto nn = static_cast<std::size_t>(node);
+          // Ball–box test with the node's bounds broadcast across lanes.
+          const BF lox = BF::broadcast(tree.min_x[nn]) - qx;
+          const BF hix = qx - BF::broadcast(tree.max_x[nn]);
+          const BF loy = BF::broadcast(tree.min_y[nn]) - qy;
+          const BF hiy = qy - BF::broadcast(tree.max_y[nn]);
+          const BF loz = BF::broadcast(tree.min_z[nn]) - qz;
+          const BF hiz = qz - BF::broadcast(tree.max_z[nn]);
+          const BF dx = BF::max(BF::max(lox, hix), zero);
+          const BF dy = BF::max(BF::max(loy, hiy), zero);
+          const BF dz = BF::max(BF::max(loz, hiz), zero);
+          const std::uint32_t live =
+              mask & simd::cmp_le(dx * dx + dy * dy + dz * dz, r2);
+          if (live == 0 || !tree.is_leaf(node)) return live;
+          // Leaf: stream the leaf's points against all live lanes.
+          for (std::int32_t j = tree.leaf_begin[nn]; j < tree.leaf_end[nn]; ++j) {
+            const auto jj = static_cast<std::size_t>(j);
+            const BF dxp = BF::broadcast(tree.px[jj]) - qx;
+            const BF dyp = BF::broadcast(tree.py[jj]) - qy;
+            const BF dzp = BF::broadcast(tree.pz[jj]) - qz;
+            total += std::popcount(
+                live & simd::cmp_le(dxp * dxp + dyp * dyp + dzp * dzp, r2));
+          }
+          return 0;  // leaves have no children
+        },
+        stats);
+  }
+  return total;
+}
+
+}  // namespace tb::lockstep

@@ -1,0 +1,25 @@
+// Cache-line padding helper to keep per-worker mutable state from false
+// sharing (C++ Core Guidelines CP.3: minimize sharing of writable data).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace tb::rt {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <class T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace tb::rt

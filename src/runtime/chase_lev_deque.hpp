@@ -1,0 +1,119 @@
+// Chase–Lev work-stealing deque (Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP'13 formulation).
+//
+// The owner pushes and pops at the bottom; thieves steal from the top.
+// Entries are raw pointers whose lifetime is managed by the fork-join
+// protocol: a spawner never leaves the frame that owns a job until the job
+// is Done, and the deque hands each entry to exactly one taker.
+//
+// Ring buffers grow geometrically; retired buffers are kept alive until the
+// deque is destroyed so racing thieves can still read through a stale
+// buffer pointer safely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tb::rt {
+
+template <class T>
+class ChaseLevDeque {
+public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 1 << 8) {
+    buffers_.push_back(std::make_unique<Ring>(initial_capacity));
+    active_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  // Owner only.
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = active_.load(std::memory_order_relaxed);
+    if (b - t > ring->capacity - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only.  Returns nullptr when empty.
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = active_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = ring->get(b);
+      if (t == b) {
+        // Single element left: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // lost the race
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread.  Returns nullptr when empty or when losing a race.
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Ring* ring = active_.load(std::memory_order_acquire);
+    T* item = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // another thief (or the owner) got it
+    }
+    return item;
+  }
+
+  // Approximate size; callable by any thread (monitoring only).
+  std::int64_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+private:
+  struct Ring {
+    explicit Ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    T* get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_relaxed); }
+    void put(std::int64_t i, T* v) { slots[i & mask].store(v, std::memory_order_relaxed); }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    buffers_.push_back(std::make_unique<Ring>(old->capacity * 2));
+    Ring* bigger = buffers_.back().get();
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    active_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> active_{nullptr};
+  std::vector<std::unique_ptr<Ring>> buffers_;  // owner-mutated (grow) only
+};
+
+}  // namespace tb::rt

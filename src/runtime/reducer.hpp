@@ -1,0 +1,50 @@
+// Worker-local reduction slots.
+//
+// The paper's base cases "perform reductions to compute the eventual program
+// result"; with P workers each worker accumulates into a private, padded
+// slot and the caller combines the slots once at the end (a commutative
+// monoid reduction — no locks on the hot path, per Core Guidelines CP.3).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/forkjoin.hpp"
+
+namespace tb::rt {
+
+template <class T>
+class WorkerLocal {
+public:
+  explicit WorkerLocal(const ForkJoinPool& pool, T init = T{})
+      : init_(init), slots_(static_cast<std::size_t>(pool.num_workers()) + 1) {
+    for (auto& s : slots_) s.value = init;
+  }
+
+  // Slot of the calling worker; the extra trailing slot serves non-worker
+  // threads (e.g. the external thread driving a sequential section).
+  T& local() {
+    const int id = ForkJoinPool::worker_id();
+    const std::size_t slot =
+        id >= 0 ? static_cast<std::size_t>(id) : slots_.size() - 1;
+    return slots_[slot].value;
+  }
+
+  template <class Combine>
+  T combine(Combine&& op) const {
+    T acc = init_;
+    for (const auto& s : slots_) acc = op(acc, s.value);
+    return acc;
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.value = init_;
+  }
+
+private:
+  T init_;
+  std::vector<Padded<T>> slots_;
+};
+
+}  // namespace tb::rt

@@ -1,0 +1,64 @@
+// Small deterministic PRNGs.
+//
+// splitmix64 doubles as (a) the seeding function for xoshiro256** and
+// (b) the splittable node-hash for the UTS benchmark (substituting the
+// original SHA-1 splittable stream — only the branching distribution
+// matters to the scheduler, see DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+
+namespace tb::rt {
+
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(std::uint64_t seed = 0x6a09e667f3bcc908ull) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n) via Lemire's multiply-shift reduction.
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>((*this)())) *
+                                       n) >>
+                                      32);
+  }
+
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace tb::rt

@@ -1,0 +1,56 @@
+// Closed-form step bounds from §4 (Theorems 1–4).
+//
+// All bounds are asymptotic (Θ/O); the tests multiply them by explicit
+// constants when comparing against measured step counts.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace tb::sim {
+
+inline double lg(double x) { return std::log2(std::max(1.0, x)); }
+
+// ε in h = lg n + ε.
+inline double epsilon_of(std::uint64_t n, int h) {
+  return std::max(0.0, static_cast<double>(h) - lg(static_cast<double>(n)));
+}
+
+// Theorem 1 (basic, no re-expansion): Θ(min{2^ε·n/(kQ) + n/Q + lg n + ε, n}).
+inline double theorem1_bound(std::uint64_t n, int h, double k, int q) {
+  const double eps = epsilon_of(n, h);
+  const double nn = static_cast<double>(n);
+  const double qq = static_cast<double>(q);
+  const double main_term =
+      std::exp2(std::min(eps, 60.0)) * nn / (k * qq) + nn / qq + lg(nn) + eps;
+  return std::min(main_term, nn);
+}
+
+// Theorem 2 (re-expansion): Θ(min{((ε − lg k)/k₁ + 1)·n/Q + lg n + ε, n}).
+inline double theorem2_bound(std::uint64_t n, int h, double k, double k1, int q) {
+  const double eps = epsilon_of(n, h);
+  const double nn = static_cast<double>(n);
+  const double qq = static_cast<double>(q);
+  const double factor = std::max(0.0, (eps - lg(k)) / std::max(1.0, k1)) + 1.0;
+  return std::min(factor * nn / qq + lg(nn) + eps, nn);
+}
+
+// Theorem 3 (sequential restart): Θ(n/Q + h) — optimal, independent of k.
+inline double theorem3_bound(std::uint64_t n, int h, int q) {
+  return static_cast<double>(n) / static_cast<double>(q) + static_cast<double>(h);
+}
+
+// Theorem 4 (work-stealing restart, P cores): O(n/(QP) + k·h) expected.
+inline double theorem4_bound(std::uint64_t n, int h, int q, int p, double k) {
+  return static_cast<double>(n) / (static_cast<double>(q) * static_cast<double>(p)) +
+         k * static_cast<double>(h);
+}
+
+// Lower bound for any scheduler: max(n/(QP), h).
+inline double optimal_lower_bound(std::uint64_t n, int h, int q, int p) {
+  return std::max(static_cast<double>(n) / (static_cast<double>(q) * static_cast<double>(p)),
+                  static_cast<double>(h));
+}
+
+}  // namespace tb::sim

@@ -1,0 +1,157 @@
+// Synthetic computation trees (§4 model: unit-time tasks, out-degree ≤ 2).
+//
+// The theory of the paper is stated over abstract trees, so the theorem
+// tests and the multicore simulator run on explicitly materialized trees in
+// CSR form.  Generators cover the regimes the analysis distinguishes
+// through h = lg n + ε: perfect trees (ε ≈ 0), caterpillar/comb trees
+// (ε ≈ h), random unbalanced trees, and fib/UTS-shaped trees.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/xoshiro.hpp"
+
+namespace tb::sim {
+
+struct CompTree {
+  // CSR children: children of node v are child[first[v]] .. child[first[v+1]).
+  std::vector<std::int32_t> first;
+  std::vector<std::int32_t> child;
+  std::vector<std::int32_t> depth;
+  int height = 0;  // number of levels
+
+  std::size_t num_nodes() const { return depth.size(); }
+
+  int degree(std::int32_t v) const {
+    return first[static_cast<std::size_t>(v) + 1] - first[static_cast<std::size_t>(v)];
+  }
+  bool is_leaf(std::int32_t v) const { return degree(v) == 0; }
+
+  std::uint64_t num_leaves() const {
+    std::uint64_t n = 0;
+    for (std::size_t v = 0; v < num_nodes(); ++v) {
+      n += is_leaf(static_cast<std::int32_t>(v)) ? 1 : 0;
+    }
+    return n;
+  }
+
+  // Build from a parent array (parent[0] == -1 for the root, parents appear
+  // before children).
+  static CompTree from_parents(const std::vector<std::int32_t>& parent) {
+    assert(!parent.empty() && parent[0] == -1);
+    return from_parents_multi_root(parent);
+  }
+
+  // Multi-root variant: any entry with parent -1 is a root (data-parallel
+  // outer loops contribute one root per iteration, §5.3).  Parents must
+  // still precede children.
+  static CompTree from_parents_multi_root(const std::vector<std::int32_t>& parent) {
+    CompTree t;
+    const std::size_t n = parent.size();
+    t.first.assign(n + 1, 0);
+    t.depth.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] < 0) continue;
+      assert(static_cast<std::size_t>(parent[v]) < v);
+      t.first[static_cast<std::size_t>(parent[v]) + 1] += 1;
+    }
+    for (std::size_t v = 0; v < n; ++v) t.first[v + 1] += t.first[v];
+    t.child.resize(t.first[n]);
+    std::vector<std::int32_t> cursor(t.first.begin(), t.first.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] < 0) continue;
+      t.child[static_cast<std::size_t>(cursor[static_cast<std::size_t>(parent[v])]++)] =
+          static_cast<std::int32_t>(v);
+      t.depth[v] = t.depth[static_cast<std::size_t>(parent[v])] + 1;
+      t.height = std::max(t.height, t.depth[v] + 1);
+    }
+    if (n > 0) t.height = std::max(t.height, 1);
+    return t;
+  }
+
+  int max_degree() const {
+    int d = 0;
+    for (std::size_t v = 0; v < num_nodes(); ++v) {
+      d = std::max(d, degree(static_cast<std::int32_t>(v)));
+    }
+    return d;
+  }
+
+  // Perfect binary tree with `levels` levels (2^levels - 1 nodes).
+  static CompTree perfect_binary(int levels) {
+    std::vector<std::int32_t> parent;
+    parent.push_back(-1);
+    for (std::int32_t v = 1; v < (1 << levels) - 1; ++v) {
+      parent.push_back((v - 1) / 2);
+    }
+    return from_parents(parent);
+  }
+
+  // A path of `length` nodes — the degenerate, zero-parallelism tree.
+  static CompTree chain(int length) {
+    std::vector<std::int32_t> parent(static_cast<std::size_t>(length));
+    parent[0] = -1;
+    for (int v = 1; v < length; ++v) parent[static_cast<std::size_t>(v)] = v - 1;
+    return from_parents(parent);
+  }
+
+  // Caterpillar: a spine of `spine` nodes, each spine node also sprouting a
+  // leaf — h ≈ n/2, the high-ε regime where the basic policy collapses.
+  static CompTree caterpillar(int spine) {
+    std::vector<std::int32_t> parent;
+    parent.push_back(-1);
+    std::int32_t prev = 0;
+    for (int s = 1; s < spine; ++s) {
+      parent.push_back(prev);                                  // leaf child
+      parent.push_back(prev);                                  // next spine node
+      prev = static_cast<std::int32_t>(parent.size()) - 1;
+    }
+    return from_parents(parent);
+  }
+
+  // Random binary tree: every node is internal with probability p_internal,
+  // capped at roughly n_target nodes (generation is breadth-first so the
+  // cap yields a frontier of leaves, keeping the tree well-formed).
+  static CompTree random_binary(std::size_t n_target, double p_internal, std::uint64_t seed) {
+    rt::Xoshiro256 rng(seed);
+    std::vector<std::int32_t> parent;
+    parent.push_back(-1);
+    std::deque<std::int32_t> frontier{0};
+    // Force the first few expansions so the tree is never degenerate.
+    const std::size_t forced = std::min<std::size_t>(63, n_target / 4);
+    while (!frontier.empty() && parent.size() + 2 <= n_target) {
+      const std::int32_t v = frontier.front();
+      frontier.pop_front();
+      if (parent.size() < forced || rng.uniform01() < p_internal) {
+        for (int c = 0; c < 2; ++c) {
+          parent.push_back(v);
+          frontier.push_back(static_cast<std::int32_t>(parent.size()) - 1);
+        }
+      }
+    }
+    return from_parents(parent);
+  }
+
+  // Fibonacci call tree: node for fib(m) has children fib(m-1), fib(m-2).
+  static CompTree fib_tree(int m) {
+    std::vector<std::int32_t> parent;
+    std::vector<int> value;
+    parent.push_back(-1);
+    value.push_back(m);
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      if (value[v] >= 2) {
+        parent.push_back(static_cast<std::int32_t>(v));
+        value.push_back(value[v] - 1);
+        parent.push_back(static_cast<std::int32_t>(v));
+        value.push_back(value[v] - 2);
+      }
+    }
+    return from_parents(parent);
+  }
+};
+
+}  // namespace tb::sim

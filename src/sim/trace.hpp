@@ -1,0 +1,241 @@
+// Execution traces for the discrete-time simulator.
+//
+// When SimConfig.trace is set, the simulator appends one event per scheduler
+// action — block executions (BFE/DFE) with their start time and step cost,
+// restart parks, and steal attempts/successes.  Traces serve three purposes:
+//
+//   * validation — check_trace() cross-checks the event stream against the
+//     aggregate SimResult (step/task conservation, per-core interval
+//     disjointness, level sanity), catching simulator bugs the aggregate
+//     counters would hide;
+//   * visibility — render_timeline() draws an ASCII Gantt chart (one row
+//     per core) and utilization_series() produces the per-time-bucket SIMD
+//     utilization, making Figure 5's "why does policy X scale" inspectable;
+//   * analysis — steal/park densities over time expose the scheduler's
+//     work-finding behaviour, e.g. restart's park-then-merge bursts when a
+//     subtree dies out.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tb::sim {
+
+enum class TraceKind : std::uint8_t {
+  ExecBFE,       // block executed breadth-first (dur = ceil(size/Q) steps)
+  ExecDFE,       // block executed depth-first
+  Park,          // restart: block parked/merged into the deque (dur = 0)
+  StealAttempt,  // one failed or self steal attempt (dur = 1)
+  Steal,         // successful steal of a block from another core (dur = 1)
+};
+
+inline const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::ExecBFE: return "bfe";
+    case TraceKind::ExecDFE: return "dfe";
+    case TraceKind::Park: return "park";
+    case TraceKind::StealAttempt: return "steal?";
+    case TraceKind::Steal: return "steal";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t t = 0;    // simulator clock when the action started
+  std::uint64_t dur = 0;  // simulated steps the action occupies
+  std::int32_t core = 0;
+  TraceKind kind = TraceKind::ExecBFE;
+  std::int32_t level = -1;   // block level, -1 when not applicable
+  std::uint32_t size = 0;    // tasks in the block, 0 when not applicable
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class Trace {
+public:
+  void record(std::uint64_t t, std::uint64_t dur, std::int32_t core, TraceKind kind,
+              std::int32_t level, std::uint32_t size) {
+    events_.push_back({t, dur, core, kind, level, size});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  std::uint64_t end_time() const {
+    std::uint64_t end = 0;
+    for (const TraceEvent& e : events_) end = std::max(end, e.t + e.dur);
+    return end;
+  }
+
+  std::uint64_t count(TraceKind k) const {
+    std::uint64_t n = 0;
+    for (const TraceEvent& e : events_) n += (e.kind == k) ? 1 : 0;
+    return n;
+  }
+
+private:
+  std::vector<TraceEvent> events_;
+};
+
+// ---- validation -----------------------------------------------------------------
+
+struct TraceCheck {
+  bool ok = true;
+  std::string error;
+
+  static TraceCheck fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+// Structural invariants every valid blocked-policy trace satisfies:
+//   1. a core never runs two actions that overlap in time;
+//   2. executed-task total equals the sum of executed block sizes;
+//   3. steal successes never exceed steal attempts (per trace totals);
+//   4. levels are non-negative and sizes positive on exec events.
+// `expected_tasks` / `expected_steps` (pass the SimResult counters) tie the
+// trace back to the aggregate accounting; pass 0 to skip either.
+inline TraceCheck check_trace(const Trace& trace, int num_cores,
+                              std::uint64_t expected_tasks = 0,
+                              std::uint64_t expected_steps = 0, int q = 0) {
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> busy(
+      static_cast<std::size_t>(num_cores));
+  std::uint64_t tasks = 0, steps = 0, complete = 0, steals = 0, attempts = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.core < 0 || e.core >= num_cores) {
+      return TraceCheck::fail("event on core " + std::to_string(e.core) + " out of range");
+    }
+    switch (e.kind) {
+      case TraceKind::ExecBFE:
+      case TraceKind::ExecDFE:
+        if (e.size == 0) return TraceCheck::fail("exec event with empty block");
+        if (e.level < 0) return TraceCheck::fail("exec event without a level");
+        if (e.dur == 0) return TraceCheck::fail("exec event with zero duration");
+        tasks += e.size;
+        steps += e.dur;
+        if (q > 0) complete += e.size / static_cast<std::uint32_t>(q);
+        busy[static_cast<std::size_t>(e.core)].emplace_back(e.t, e.t + e.dur);
+        break;
+      case TraceKind::StealAttempt:
+        ++attempts;
+        busy[static_cast<std::size_t>(e.core)].emplace_back(e.t, e.t + e.dur);
+        break;
+      case TraceKind::Steal:
+        ++steals;
+        ++attempts;
+        busy[static_cast<std::size_t>(e.core)].emplace_back(e.t, e.t + e.dur);
+        break;
+      case TraceKind::Park:
+        if (e.level < 0) return TraceCheck::fail("park event without a level");
+        break;  // parks are instantaneous bookkeeping
+    }
+  }
+  for (std::size_t c = 0; c < busy.size(); ++c) {
+    auto& iv = busy[c];
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i) {
+      if (iv[i].first < iv[i - 1].second) {
+        return TraceCheck::fail("core " + std::to_string(c) + " actions overlap at t=" +
+                                std::to_string(iv[i].first));
+      }
+    }
+  }
+  if (expected_tasks != 0 && tasks != expected_tasks) {
+    return TraceCheck::fail("trace executes " + std::to_string(tasks) + " tasks, expected " +
+                            std::to_string(expected_tasks));
+  }
+  if (expected_steps != 0 && steps != expected_steps) {
+    return TraceCheck::fail("trace spans " + std::to_string(steps) + " exec steps, expected " +
+                            std::to_string(expected_steps));
+  }
+  if (steals > attempts) return TraceCheck::fail("more steals than attempts");
+  return {};
+}
+
+// ---- rendering ------------------------------------------------------------------
+
+// ASCII Gantt chart: one row per core, `width` time buckets over the trace
+// span.  Bucket glyph is the dominant activity: '#' full-rate execution
+// (all steps complete), 'o' partially-utilized execution, 's' stealing,
+// '.' idle.  A header row marks the time axis.
+inline std::string render_timeline(const Trace& trace, int num_cores, int q, int width = 72) {
+  const std::uint64_t span = std::max<std::uint64_t>(trace.end_time(), 1);
+  const auto bucket_of = [&](std::uint64_t t) {
+    return std::min<std::size_t>(static_cast<std::size_t>(t * static_cast<std::uint64_t>(width) / span),
+                                 static_cast<std::size_t>(width - 1));
+  };
+  // Per core × bucket: accumulated exec steps, complete steps, steal steps.
+  struct Cell {
+    double exec = 0, complete = 0, steal = 0;
+  };
+  std::vector<std::vector<Cell>> grid(static_cast<std::size_t>(num_cores),
+                                      std::vector<Cell>(static_cast<std::size_t>(width)));
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceKind::Park) continue;
+    const std::size_t b0 = bucket_of(e.t);
+    const std::size_t b1 = bucket_of(e.t + std::max<std::uint64_t>(e.dur, 1) - 1);
+    const double per = 1.0 / static_cast<double>(b1 - b0 + 1);
+    for (std::size_t b = b0; b <= b1; ++b) {
+      Cell& cell = grid[static_cast<std::size_t>(e.core)][b];
+      if (e.kind == TraceKind::ExecBFE || e.kind == TraceKind::ExecDFE) {
+        const double steps = static_cast<double>(e.dur) * per;
+        cell.exec += steps;
+        cell.complete += static_cast<double>(e.size / static_cast<std::uint32_t>(std::max(q, 1))) * per;
+      } else {
+        cell.steal += per;
+      }
+    }
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>((num_cores + 1) * (width + 16)));
+  out += "t=0";
+  for (int i = 3; i < width - 6; ++i) out += ' ';
+  out += "t=" + std::to_string(span) + "\n";
+  for (int c = 0; c < num_cores; ++c) {
+    out += "core" + std::to_string(c) + (c < 10 ? " |" : "|");
+    for (int b = 0; b < width; ++b) {
+      const Cell& cell = grid[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
+      char glyph = '.';
+      if (cell.exec > 0 && cell.exec >= cell.steal) {
+        glyph = (cell.complete >= 0.95 * cell.exec) ? '#' : 'o';
+      } else if (cell.steal > 0) {
+        glyph = 's';
+      }
+      out += glyph;
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+// Per-bucket SIMD utilization (complete steps / total steps), for plotting
+// utilization over time.  Buckets with no execution report 0.
+inline std::vector<double> utilization_series(const Trace& trace, int q, int buckets = 64) {
+  const std::uint64_t span = std::max<std::uint64_t>(trace.end_time(), 1);
+  std::vector<double> total(static_cast<std::size_t>(buckets), 0.0);
+  std::vector<double> complete(static_cast<std::size_t>(buckets), 0.0);
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceKind::ExecBFE && e.kind != TraceKind::ExecDFE) continue;
+    const auto b0 = static_cast<std::size_t>(
+        std::min<std::uint64_t>(e.t * static_cast<std::uint64_t>(buckets) / span,
+                                static_cast<std::uint64_t>(buckets - 1)));
+    const auto b1 = static_cast<std::size_t>(std::min<std::uint64_t>(
+        (e.t + std::max<std::uint64_t>(e.dur, 1) - 1) * static_cast<std::uint64_t>(buckets) / span,
+        static_cast<std::uint64_t>(buckets - 1)));
+    const double per = 1.0 / static_cast<double>(b1 - b0 + 1);
+    for (std::size_t b = b0; b <= b1; ++b) {
+      total[b] += static_cast<double>(e.dur) * per;
+      complete[b] +=
+          static_cast<double>(e.size / static_cast<std::uint32_t>(std::max(q, 1))) * per;
+    }
+  }
+  std::vector<double> out(static_cast<std::size_t>(buckets), 0.0);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = total[b] > 0 ? complete[b] / total[b] : 0.0;
+  }
+  return out;
+}
+
+}  // namespace tb::sim

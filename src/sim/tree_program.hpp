@@ -1,0 +1,48 @@
+// Adapter that runs a materialized CompTree through the *real* task-block
+// schedulers.  The theorem tests use this to measure actual step counts of
+// the production scheduler implementation against the §4 closed forms,
+// rather than trusting a separate model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/program.hpp"
+#include "sim/comp_tree.hpp"
+#include "simd/soa.hpp"
+
+namespace tb::sim {
+
+struct CompTreeProgram {
+  struct Task {
+    std::int32_t node;
+  };
+  using Result = std::uint64_t;  // leaves visited
+  static constexpr int max_children = 2;
+
+  const CompTree* tree = nullptr;
+
+  static Result identity() { return 0; }
+  static void combine(Result& a, const Result& b) { a += b; }
+
+  bool is_base(const Task& t) const { return tree->is_leaf(t.node); }
+  void leaf(const Task&, Result& r) const { r += 1; }
+
+  template <class Emit>
+  void expand(const Task& t, Emit&& emit) const {
+    const auto v = static_cast<std::size_t>(t.node);
+    const std::int32_t b = tree->first[v];
+    const std::int32_t e = tree->first[v + 1];
+    for (std::int32_t i = b; i < e; ++i) {
+      emit(static_cast<int>(i - b), Task{tree->child[static_cast<std::size_t>(i)]});
+    }
+  }
+
+  using Block = simd::SoaBlock<std::int32_t>;
+  static Task task_at(const Block& b, std::size_t i) { return Task{std::get<0>(b.row(i))}; }
+  static void append_task(Block& b, const Task& t) { b.push_back(t.node); }
+
+  static Task root() { return Task{0}; }
+};
+
+}  // namespace tb::sim

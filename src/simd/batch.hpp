@@ -1,0 +1,301 @@
+// Portable fixed-width SIMD batch type.
+//
+// `batch<T, W>` models W lanes of T stored in an addressable, aligned array.
+// Arithmetic is written as plain fixed-trip-count loops, which GCC/Clang
+// compile to single vector instructions at -O3; the operations a compiler
+// cannot derive on its own — lane-mask extraction, masked blends and
+// gathers — carry explicit AVX2 fast paths.  Lane masks are plain
+// `uint32_t` bitmasks (bit i == lane i), which is what the streaming
+// compaction in compact.hpp consumes.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define TB_HAVE_AVX2 1
+#else
+#define TB_HAVE_AVX2 0
+#endif
+
+namespace tb::simd {
+
+template <int W>
+inline constexpr std::uint32_t mask_all = (W >= 32) ? 0xffffffffu : ((1u << W) - 1u);
+
+namespace detail {
+constexpr std::size_t batch_align(std::size_t bytes) { return bytes < 64 ? bytes : 64; }
+
+#if TB_HAVE_AVX2
+template <class B>
+inline __m256i as_m256i(const B& b) {
+  return std::bit_cast<__m256i>(b);
+}
+template <class B>
+inline B from_m256i(__m256i v) {
+  return std::bit_cast<B>(v);
+}
+#endif
+}  // namespace detail
+
+template <class T, int W>
+struct batch {
+  static_assert(std::is_arithmetic_v<T>, "batch lanes must be arithmetic");
+  static_assert(W > 0 && (W & (W - 1)) == 0, "batch width must be a power of two");
+
+  using value_type = T;
+  static constexpr int width = W;
+
+  alignas(detail::batch_align(sizeof(T) * W)) T lane[W];
+
+  // ---- constructors / fills -------------------------------------------------
+  static batch broadcast(T x) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = x;
+    return r;
+  }
+  static batch zero() { return broadcast(T{0}); }
+  static batch iota(T first, T step = T{1}) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(first + static_cast<T>(i) * step);
+    return r;
+  }
+
+  // ---- memory ---------------------------------------------------------------
+  static batch load(const T* p) {  // p must be aligned to the batch alignment
+    batch r;
+    std::memcpy(r.lane, std::assume_aligned<detail::batch_align(sizeof(T) * W)>(p),
+                sizeof(r.lane));
+    return r;
+  }
+  static batch loadu(const T* p) {
+    batch r;
+    std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+  }
+  void store(T* p) const {
+    std::memcpy(std::assume_aligned<detail::batch_align(sizeof(T) * W)>(p), lane, sizeof(lane));
+  }
+  void storeu(T* p) const { std::memcpy(p, lane, sizeof(lane)); }
+
+  T operator[](int i) const { return lane[i]; }
+  void set(int i, T v) { lane[i] = v; }
+
+  // ---- arithmetic -----------------------------------------------------------
+  friend batch operator+(batch a, batch b) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] + b.lane[i]);
+    return r;
+  }
+  friend batch operator-(batch a, batch b) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] - b.lane[i]);
+    return r;
+  }
+  friend batch operator*(batch a, batch b) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] * b.lane[i]);
+    return r;
+  }
+  friend batch operator-(batch a) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(-a.lane[i]);
+    return r;
+  }
+  batch& operator+=(batch o) { return *this = *this + o; }
+  batch& operator-=(batch o) { return *this = *this - o; }
+  batch& operator*=(batch o) { return *this = *this * o; }
+
+  // ---- bitwise (integral lanes only) ---------------------------------------
+  friend batch operator&(batch a, batch b) requires std::is_integral_v<T> {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] & b.lane[i]);
+    return r;
+  }
+  friend batch operator|(batch a, batch b) requires std::is_integral_v<T> {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] | b.lane[i]);
+    return r;
+  }
+  friend batch operator^(batch a, batch b) requires std::is_integral_v<T> {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] ^ b.lane[i]);
+    return r;
+  }
+  friend batch operator~(batch a) requires std::is_integral_v<T> {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(~a.lane[i]);
+    return r;
+  }
+  friend batch operator<<(batch a, int s) requires std::is_integral_v<T> {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] << s);
+    return r;
+  }
+  friend batch operator>>(batch a, int s) requires std::is_integral_v<T> {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = static_cast<T>(a.lane[i] >> s);
+    return r;
+  }
+
+  // ---- min / max ------------------------------------------------------------
+  static batch min(batch a, batch b) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = std::min(a.lane[i], b.lane[i]);
+    return r;
+  }
+  static batch max(batch a, batch b) {
+    batch r;
+    for (int i = 0; i < W; ++i) r.lane[i] = std::max(a.lane[i], b.lane[i]);
+    return r;
+  }
+};
+
+// ---- lane-mask comparisons --------------------------------------------------
+// Return a bitmask with bit i set when the predicate holds in lane i.
+
+namespace detail {
+
+#if TB_HAVE_AVX2
+// movemask over 32-bit lanes of an __m256i comparison result.
+inline std::uint32_t movemask32(__m256i cmp) {
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(cmp)));
+}
+inline std::uint32_t movemask64(__m256i cmp) {
+  return static_cast<std::uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(cmp)));
+}
+#endif
+
+template <class T, int W, class Pred>
+inline std::uint32_t mask_loop(const batch<T, W>& a, const batch<T, W>& b, Pred&& p) {
+  std::uint32_t m = 0;
+  for (int i = 0; i < W; ++i) m |= static_cast<std::uint32_t>(p(a.lane[i], b.lane[i])) << i;
+  return m;
+}
+
+}  // namespace detail
+
+template <class T, int W>
+inline std::uint32_t cmp_eq(const batch<T, W>& a, const batch<T, W>& b) {
+#if TB_HAVE_AVX2
+  if constexpr (std::is_integral_v<T> && sizeof(T) == 4 && W == 8) {
+    return detail::movemask32(
+        _mm256_cmpeq_epi32(detail::as_m256i(a), detail::as_m256i(b)));
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 8 && W == 4) {
+    return detail::movemask64(
+        _mm256_cmpeq_epi64(detail::as_m256i(a), detail::as_m256i(b)));
+  }
+#endif
+  return detail::mask_loop(a, b, [](T x, T y) { return x == y; });
+}
+
+template <class T, int W>
+inline std::uint32_t cmp_ne(const batch<T, W>& a, const batch<T, W>& b) {
+  return cmp_eq(a, b) ^ mask_all<W>;
+}
+
+template <class T, int W>
+inline std::uint32_t cmp_lt(const batch<T, W>& a, const batch<T, W>& b) {
+#if TB_HAVE_AVX2
+  if constexpr (std::is_same_v<T, std::int32_t> && W == 8) {
+    return detail::movemask32(
+        _mm256_cmpgt_epi32(detail::as_m256i(b), detail::as_m256i(a)));
+  } else if constexpr (std::is_same_v<T, float> && W == 8) {
+    const auto av = std::bit_cast<__m256>(a);
+    const auto bv = std::bit_cast<__m256>(b);
+    return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_cmp_ps(av, bv, _CMP_LT_OQ)));
+  } else if constexpr (std::is_same_v<T, std::int64_t> && W == 4) {
+    return detail::movemask64(
+        _mm256_cmpgt_epi64(detail::as_m256i(b), detail::as_m256i(a)));
+  }
+#endif
+  return detail::mask_loop(a, b, [](T x, T y) { return x < y; });
+}
+
+template <class T, int W>
+inline std::uint32_t cmp_gt(const batch<T, W>& a, const batch<T, W>& b) {
+  return cmp_lt(b, a);
+}
+template <class T, int W>
+inline std::uint32_t cmp_le(const batch<T, W>& a, const batch<T, W>& b) {
+  return cmp_gt(a, b) ^ mask_all<W>;
+}
+template <class T, int W>
+inline std::uint32_t cmp_ge(const batch<T, W>& a, const batch<T, W>& b) {
+  return cmp_lt(a, b) ^ mask_all<W>;
+}
+
+// ---- blend ------------------------------------------------------------------
+// Lane i of the result is `ifset` when mask bit i is 1, else `ifclear`.
+template <class T, int W>
+inline batch<T, W> select(std::uint32_t mask, const batch<T, W>& ifset,
+                          const batch<T, W>& ifclear) {
+  batch<T, W> r;
+  for (int i = 0; i < W; ++i) r.lane[i] = (mask >> i) & 1u ? ifset.lane[i] : ifclear.lane[i];
+  return r;
+}
+
+// ---- gathers ----------------------------------------------------------------
+// r.lane[i] = base[idx.lane[i]].  AVX2 provides hardware gathers for 4-byte
+// elements with 4-byte indices; everything else uses the scalar loop.
+template <class T, int W>
+inline batch<T, W> gather(const T* base, const batch<std::int32_t, W>& idx) {
+#if TB_HAVE_AVX2
+  if constexpr (std::is_same_v<T, float> && W == 8) {
+    return std::bit_cast<batch<T, W>>(
+        _mm256_i32gather_ps(base, detail::as_m256i(idx), sizeof(float)));
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 4 && W == 8) {
+    return std::bit_cast<batch<T, W>>(_mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(base), detail::as_m256i(idx), sizeof(T)));
+  }
+#endif
+  batch<T, W> r;
+  for (int i = 0; i < W; ++i) r.lane[i] = base[idx.lane[i]];
+  return r;
+}
+
+// ---- horizontal reductions ---------------------------------------------------
+template <class Acc, class T, int W>
+inline Acc reduce_add_as(const batch<T, W>& v) {
+  Acc acc{};
+  for (int i = 0; i < W; ++i) acc += static_cast<Acc>(v.lane[i]);
+  return acc;
+}
+template <class T, int W>
+inline T reduce_add(const batch<T, W>& v) {
+  return reduce_add_as<T>(v);
+}
+template <class T, int W>
+inline T reduce_min(const batch<T, W>& v) {
+  T m = v.lane[0];
+  for (int i = 1; i < W; ++i) m = std::min(m, v.lane[i]);
+  return m;
+}
+template <class T, int W>
+inline T reduce_max(const batch<T, W>& v) {
+  T m = v.lane[0];
+  for (int i = 1; i < W; ++i) m = std::max(m, v.lane[i]);
+  return m;
+}
+
+// Masked horizontal add: sums only the lanes whose mask bit is set.
+template <class Acc, class T, int W>
+inline Acc reduce_add_masked(std::uint32_t mask, const batch<T, W>& v) {
+  Acc acc{};
+  for (int i = 0; i < W; ++i)
+    if ((mask >> i) & 1u) acc += static_cast<Acc>(v.lane[i]);
+  return acc;
+}
+
+// Natural vector width for a lane type on the compiled-for ISA: how many
+// lanes of T fit in the widest available vector register (256-bit with AVX2,
+// 128-bit baseline).  This is the Q the paper parameterizes schedulers with.
+template <class T>
+inline constexpr int natural_width = TB_HAVE_AVX2 ? static_cast<int>(32 / sizeof(T))
+                                                  : static_cast<int>(16 / sizeof(T));
+
+}  // namespace tb::simd

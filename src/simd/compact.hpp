@@ -1,0 +1,98 @@
+// Streaming compaction (left-packing).
+//
+// The vectorized task-block kernels compute, per SIMD step, a lane mask of
+// "this lane spawned a child" plus the child's field values in vector
+// registers.  Appending the surviving lanes densely to the target block is
+// the compaction step of Ren et al. (the paper calls it Streaming
+// Compaction, §6).  With AVX2 this is a single table-driven VPERMD; without
+// it, a scalar bit-scan loop.
+//
+// Contract: `dst` must have at least W writable slots — compaction writes a
+// full vector and the caller advances its size by popcount(mask).
+// SoaBlock::ensure_slack provides that headroom.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "simd/batch.hpp"
+
+namespace tb::simd {
+
+namespace detail {
+
+// LUT mapping an 8-bit lane mask to the permutation that moves the selected
+// 32-bit lanes to the front (unused trailing entries point at lane 7).
+struct CompactLut8 {
+  alignas(32) std::uint32_t idx[256][8];
+};
+
+constexpr CompactLut8 make_compact_lut8() {
+  CompactLut8 lut{};
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int i = 0; i < 8; ++i)
+      if ((m >> i) & 1) lut.idx[m][k++] = static_cast<std::uint32_t>(i);
+    for (; k < 8; ++k) lut.idx[m][k] = 7;
+  }
+  return lut;
+}
+
+inline constexpr CompactLut8 kCompactLut8 = make_compact_lut8();
+
+// 4-bit mask over 64-bit lanes, expressed as pairs of 32-bit lane indices so
+// the same VPERMD can left-pack 64-bit elements.
+struct CompactLut4 {
+  alignas(32) std::uint32_t idx[16][8];
+};
+
+constexpr CompactLut4 make_compact_lut4() {
+  CompactLut4 lut{};
+  for (int m = 0; m < 16; ++m) {
+    int k = 0;
+    for (int i = 0; i < 4; ++i) {
+      if ((m >> i) & 1) {
+        lut.idx[m][k++] = static_cast<std::uint32_t>(2 * i);
+        lut.idx[m][k++] = static_cast<std::uint32_t>(2 * i + 1);
+      }
+    }
+    for (; k < 8; ++k) lut.idx[m][k] = 7;
+  }
+  return lut;
+}
+
+inline constexpr CompactLut4 kCompactLut4 = make_compact_lut4();
+
+}  // namespace detail
+
+// Writes the lanes of `v` whose mask bit is set, contiguously, to `dst`.
+// Lane order is preserved (stable).  Returns the number of lanes written.
+template <class T, int W>
+inline int compact_store(T* dst, std::uint32_t mask, const batch<T, W>& v) {
+  mask &= mask_all<W>;
+#if TB_HAVE_AVX2
+  if constexpr (sizeof(T) == 4 && W == 8) {
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(detail::kCompactLut8.idx[mask]));
+    const __m256i packed = _mm256_permutevar8x32_epi32(detail::as_m256i(v), perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), packed);
+    return std::popcount(mask);
+  } else if constexpr (sizeof(T) == 8 && W == 4) {
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(detail::kCompactLut4.idx[mask]));
+    const __m256i packed = _mm256_permutevar8x32_epi32(detail::as_m256i(v), perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), packed);
+    return std::popcount(mask);
+  }
+#endif
+  int k = 0;
+  std::uint32_t m = mask;
+  while (m != 0) {
+    const int i = std::countr_zero(m);
+    dst[k++] = v.lane[i];
+    m &= m - 1;
+  }
+  return k;
+}
+
+}  // namespace tb::simd

@@ -1,0 +1,130 @@
+// Linear octree for Barnes-Hut.
+//
+// Built top-down by partitioning a permutation of body indices into octants
+// until a leaf capacity is reached.  Node attributes (center of mass, mass,
+// cell half-width, children) live in flat SoA arrays so the traversal
+// kernels can fetch them with vector gathers keyed by node id.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "simd/aligned.hpp"
+#include "spatial/bodies.hpp"
+
+namespace tb::spatial {
+
+class Octree {
+public:
+  static constexpr std::int32_t kNoChild = -1;
+
+  // Node attribute columns (index = node id).
+  simd::aligned_vector<float> com_x, com_y, com_z;  // center of mass
+  simd::aligned_vector<float> mass;                 // subtree mass
+  simd::aligned_vector<float> half;                 // cell half-width
+  std::vector<std::array<std::int32_t, 8>> children;
+  std::vector<std::int32_t> leaf_begin, leaf_end;  // body range for leaves
+  std::vector<std::int32_t> body_index;            // permuted body ids
+  std::int32_t root = 0;
+
+  int num_nodes() const { return static_cast<int>(mass.size()); }
+  bool is_leaf(std::int32_t node) const {
+    return leaf_begin[static_cast<std::size_t>(node)] >= 0;
+  }
+
+  static Octree build(const Bodies& bodies, int leaf_capacity = 8) {
+    Octree t;
+    const std::size_t n = bodies.size();
+    t.body_index.resize(n);
+    std::iota(t.body_index.begin(), t.body_index.end(), 0);
+    // Cubic bounding box around all bodies.
+    float lo = bodies.x.empty() ? -1.0f : bodies.x[0];
+    float hi = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = std::min({lo, bodies.x[i], bodies.y[i], bodies.z[i]});
+      hi = std::max({hi, bodies.x[i], bodies.y[i], bodies.z[i]});
+    }
+    const float cx = (lo + hi) * 0.5f;
+    const float hw = std::max((hi - lo) * 0.5f, 1e-6f) * 1.0001f;
+    t.root = t.build_node(bodies, 0, static_cast<std::int32_t>(n), cx, cx, cx, hw,
+                          leaf_capacity, 0);
+    return t;
+  }
+
+private:
+  std::int32_t new_node(float hw) {
+    const auto id = static_cast<std::int32_t>(mass.size());
+    com_x.push_back(0);
+    com_y.push_back(0);
+    com_z.push_back(0);
+    mass.push_back(0);
+    half.push_back(hw);
+    children.push_back({kNoChild, kNoChild, kNoChild, kNoChild, kNoChild, kNoChild, kNoChild,
+                        kNoChild});
+    leaf_begin.push_back(-1);
+    leaf_end.push_back(-1);
+    return id;
+  }
+
+  std::int32_t build_node(const Bodies& b, std::int32_t begin, std::int32_t end, float cx,
+                          float cy, float cz, float hw, int leaf_capacity, int depth) {
+    const std::int32_t id = new_node(hw);
+    // Center of mass of the range.
+    double mx = 0, my = 0, mz = 0, m = 0;
+    for (std::int32_t i = begin; i < end; ++i) {
+      const auto bi = static_cast<std::size_t>(body_index[static_cast<std::size_t>(i)]);
+      mx += static_cast<double>(b.mass[bi]) * b.x[bi];
+      my += static_cast<double>(b.mass[bi]) * b.y[bi];
+      mz += static_cast<double>(b.mass[bi]) * b.z[bi];
+      m += b.mass[bi];
+    }
+    mass[static_cast<std::size_t>(id)] = static_cast<float>(m);
+    if (m > 0) {
+      com_x[static_cast<std::size_t>(id)] = static_cast<float>(mx / m);
+      com_y[static_cast<std::size_t>(id)] = static_cast<float>(my / m);
+      com_z[static_cast<std::size_t>(id)] = static_cast<float>(mz / m);
+    } else {
+      com_x[static_cast<std::size_t>(id)] = cx;
+      com_y[static_cast<std::size_t>(id)] = cy;
+      com_z[static_cast<std::size_t>(id)] = cz;
+    }
+    if (end - begin <= leaf_capacity || depth > 60) {
+      leaf_begin[static_cast<std::size_t>(id)] = begin;
+      leaf_end[static_cast<std::size_t>(id)] = end;
+      return id;
+    }
+    // Partition the range into the eight octants.
+    const auto octant_of = [&](std::int32_t body) {
+      const auto bi = static_cast<std::size_t>(body);
+      return (b.x[bi] >= cx ? 1 : 0) | (b.y[bi] >= cy ? 2 : 0) | (b.z[bi] >= cz ? 4 : 0);
+    };
+    std::array<std::int32_t, 9> bounds{};
+    bounds[0] = begin;
+    auto* base = body_index.data();
+    std::int32_t cursor = begin;
+    for (int oct = 0; oct < 8; ++oct) {
+      auto* mid = std::partition(base + cursor, base + end,
+                                 [&](std::int32_t body) { return octant_of(body) == oct; });
+      cursor = static_cast<std::int32_t>(mid - base);
+      bounds[static_cast<std::size_t>(oct) + 1] = cursor;
+    }
+    const float qw = hw * 0.5f;
+    for (int oct = 0; oct < 8; ++oct) {
+      const std::int32_t s = bounds[static_cast<std::size_t>(oct)];
+      const std::int32_t e = bounds[static_cast<std::size_t>(oct) + 1];
+      if (s == e) continue;
+      const float ox = cx + ((oct & 1) ? qw : -qw);
+      const float oy = cy + ((oct & 2) ? qw : -qw);
+      const float oz = cz + ((oct & 4) ? qw : -qw);
+      const std::int32_t kid = build_node(b, s, e, ox, oy, oz, qw, leaf_capacity, depth + 1);
+      children[static_cast<std::size_t>(id)][static_cast<std::size_t>(oct)] = kid;
+    }
+    return id;
+  }
+};
+
+}  // namespace tb::spatial

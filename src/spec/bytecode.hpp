@@ -1,0 +1,298 @@
+// Bytecode representation for §5 specification-language expressions.
+//
+// The spec-language front-end (spec_lang.hpp) interprets expression ASTs one
+// task at a time.  That is the "input program" of the paper; its blocked
+// execution wants the same expression evaluated over a whole task block.
+// This module defines the compilation target that makes that efficient: a
+// small stack machine whose instructions are total (no traps — division by
+// zero yields 0, as in the AST interpreter), so a block VM can evaluate all
+// lanes eagerly under a mask, exactly the masked-execution discipline the
+// paper's hand-vectorized kernels use (§6).
+//
+// Two dialects share the opcode set:
+//   * scalar chunks may use short-circuit jumps (JumpIfZero/JumpIfNonZero)
+//     for && and ||;
+//   * blocked chunks are jump-free (logic is eager: LogicAnd/LogicOr), so
+//     every lane runs the same straight-line instruction sequence.
+//
+// A chunk carries its own static verifier (stack-effect analysis) and a
+// disassembler for debugging and tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tb::spec {
+
+enum class OpCode : std::uint8_t {
+  // Stack pushes.
+  PushConst,   // push consts[arg]
+  PushParam,   // push params[arg]
+  // Arithmetic (binary ops pop rhs then lhs, push result).
+  Add,
+  Sub,
+  Mul,
+  Div,         // total: x / 0 == 0
+  Mod,         // total: x % 0 == 0
+  Neg,
+  Shl,         // strength-reduced multiply: push(pop() << arg), arg in [0,62]
+  // Comparisons (push 0 or 1).
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  // Logic (0/1-valued).
+  LogicNot,
+  LogicAnd,    // eager: (a != 0) & (b != 0)
+  LogicOr,     // eager: (a != 0) | (b != 0)
+  Bool,        // normalize: push(pop() != 0)
+  // Control flow (scalar dialect only).  The jump is relative to the *next*
+  // instruction; the tested value stays on the stack when the jump is taken
+  // and is popped otherwise (the classic short-circuit encoding).
+  JumpIfZero,
+  JumpIfNonZero,
+  Return,      // stop; the result is the single remaining stack slot
+};
+
+inline const char* mnemonic(OpCode op) {
+  switch (op) {
+    case OpCode::PushConst: return "push.const";
+    case OpCode::PushParam: return "push.param";
+    case OpCode::Add: return "add";
+    case OpCode::Sub: return "sub";
+    case OpCode::Mul: return "mul";
+    case OpCode::Div: return "div";
+    case OpCode::Mod: return "mod";
+    case OpCode::Neg: return "neg";
+    case OpCode::Shl: return "shl";
+    case OpCode::CmpEq: return "cmp.eq";
+    case OpCode::CmpNe: return "cmp.ne";
+    case OpCode::CmpLt: return "cmp.lt";
+    case OpCode::CmpLe: return "cmp.le";
+    case OpCode::CmpGt: return "cmp.gt";
+    case OpCode::CmpGe: return "cmp.ge";
+    case OpCode::LogicNot: return "not";
+    case OpCode::LogicAnd: return "and";
+    case OpCode::LogicOr: return "or";
+    case OpCode::Bool: return "bool";
+    case OpCode::JumpIfZero: return "jz";
+    case OpCode::JumpIfNonZero: return "jnz";
+    case OpCode::Return: return "ret";
+  }
+  return "?";
+}
+
+struct Instr {
+  OpCode op;
+  std::int32_t arg = 0;  // const-pool index, param index, shift amount, or jump offset
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+// Verification outcome: max operand-stack depth, or an error description.
+struct VerifyResult {
+  bool ok = false;
+  int max_stack = 0;
+  std::string error;
+};
+
+class Chunk {
+public:
+  void emit(OpCode op, std::int32_t arg = 0) { code_.push_back({op, arg}); }
+
+  // Returns the index of the emitted instruction (for later patching).
+  std::size_t emit_jump(OpCode op) {
+    code_.push_back({op, 0});
+    return code_.size() - 1;
+  }
+  // Point the jump at `at` to the instruction *after* the current end.
+  void patch_jump_to_here(std::size_t at) {
+    code_[at].arg = static_cast<std::int32_t>(code_.size() - (at + 1));
+  }
+
+  std::int32_t add_const(std::int64_t v) {
+    for (std::size_t i = 0; i < consts_.size(); ++i) {
+      if (consts_[i] == v) return static_cast<std::int32_t>(i);
+    }
+    consts_.push_back(v);
+    return static_cast<std::int32_t>(consts_.size() - 1);
+  }
+
+  const std::vector<Instr>& code() const { return code_; }
+  const std::vector<std::int64_t>& consts() const { return consts_; }
+  bool empty() const { return code_.empty(); }
+
+  // Convenience for optimizer tests: a chunk of the form [push.const, ret].
+  std::optional<std::int64_t> as_constant() const {
+    if (code_.size() == 2 && code_[0].op == OpCode::PushConst &&
+        code_[1].op == OpCode::Return) {
+      return consts_[static_cast<std::size_t>(code_[0].arg)];
+    }
+    return std::nullopt;
+  }
+
+  bool has_jumps() const {
+    for (const Instr& in : code_) {
+      if (in.op == OpCode::JumpIfZero || in.op == OpCode::JumpIfNonZero) return true;
+    }
+    return false;
+  }
+
+  // ---- static verification ---------------------------------------------------
+  //
+  // Abstract interpretation over stack depths: walks the instruction list,
+  // tracking the depth at each program point; jump targets must agree on
+  // depth from every incoming edge.  Rejects underflow, out-of-range
+  // operands, missing/early Return, and inconsistent join depths.  The
+  // returned max depth lets VMs allocate fixed-size evaluation stacks.
+  VerifyResult verify(int arity) const {
+    VerifyResult res;
+    if (code_.empty() || code_.back().op != OpCode::Return) {
+      res.error = "chunk must end with ret";
+      return res;
+    }
+    std::vector<int> depth_at(code_.size() + 1, -1);  // -1 = not yet reached
+    depth_at[0] = 0;
+    int max_depth = 0;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const int d = depth_at[i];
+      if (d < 0) {
+        res.error = "unreachable instruction at " + std::to_string(i);
+        return res;
+      }
+      const Instr& in = code_[i];
+      int out = d;
+      switch (in.op) {
+        case OpCode::PushConst:
+          if (in.arg < 0 || static_cast<std::size_t>(in.arg) >= consts_.size()) {
+            res.error = "const index out of range at " + std::to_string(i);
+            return res;
+          }
+          out = d + 1;
+          break;
+        case OpCode::PushParam:
+          if (in.arg < 0 || in.arg >= arity) {
+            res.error = "param index out of range at " + std::to_string(i);
+            return res;
+          }
+          out = d + 1;
+          break;
+        case OpCode::Neg:
+        case OpCode::LogicNot:
+        case OpCode::Bool:
+          if (d < 1) {
+            res.error = "stack underflow at " + std::to_string(i);
+            return res;
+          }
+          break;  // depth unchanged
+        case OpCode::Shl:
+          if (d < 1) {
+            res.error = "stack underflow at " + std::to_string(i);
+            return res;
+          }
+          if (in.arg < 0 || in.arg > 62) {
+            res.error = "shift amount out of range at " + std::to_string(i);
+            return res;
+          }
+          break;
+        case OpCode::Add:
+        case OpCode::Sub:
+        case OpCode::Mul:
+        case OpCode::Div:
+        case OpCode::Mod:
+        case OpCode::CmpEq:
+        case OpCode::CmpNe:
+        case OpCode::CmpLt:
+        case OpCode::CmpLe:
+        case OpCode::CmpGt:
+        case OpCode::CmpGe:
+        case OpCode::LogicAnd:
+        case OpCode::LogicOr:
+          if (d < 2) {
+            res.error = "stack underflow at " + std::to_string(i);
+            return res;
+          }
+          out = d - 1;
+          break;
+        case OpCode::JumpIfZero:
+        case OpCode::JumpIfNonZero: {
+          if (d < 1) {
+            res.error = "stack underflow at " + std::to_string(i);
+            return res;
+          }
+          const std::size_t target = i + 1 + static_cast<std::size_t>(in.arg);
+          if (in.arg < 0 || target > code_.size() - 1) {
+            res.error = "jump out of range at " + std::to_string(i);
+            return res;
+          }
+          // Taken edge keeps the tested value (depth d); fall-through pops it.
+          if (depth_at[target] >= 0 && depth_at[target] != d) {
+            res.error = "inconsistent stack depth at jump target " + std::to_string(target);
+            return res;
+          }
+          depth_at[target] = d;
+          out = d - 1;
+          break;
+        }
+        case OpCode::Return:
+          if (d != 1) {
+            res.error = "ret requires exactly one stack slot, have " + std::to_string(d);
+            return res;
+          }
+          out = 0;
+          break;
+      }
+      max_depth = std::max(max_depth, out);
+      if (in.op != OpCode::Return) {
+        if (depth_at[i + 1] >= 0 && depth_at[i + 1] != out) {
+          res.error = "inconsistent stack depth at " + std::to_string(i + 1);
+          return res;
+        }
+        depth_at[i + 1] = out;
+      }
+    }
+    res.ok = true;
+    res.max_stack = max_depth;
+    return res;
+  }
+
+  // ---- disassembly -------------------------------------------------------------
+  std::string disassemble(const std::string& label = "") const {
+    std::ostringstream os;
+    if (!label.empty()) os << label << ":\n";
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Instr& in = code_[i];
+      os << "  " << i << "\t" << mnemonic(in.op);
+      switch (in.op) {
+        case OpCode::PushConst:
+          os << "\t" << consts_[static_cast<std::size_t>(in.arg)];
+          break;
+        case OpCode::PushParam:
+          os << "\tp" << in.arg;
+          break;
+        case OpCode::Shl:
+          os << "\t" << in.arg;
+          break;
+        case OpCode::JumpIfZero:
+        case OpCode::JumpIfNonZero:
+          os << "\t-> " << (i + 1 + static_cast<std::size_t>(in.arg));
+          break;
+        default:
+          break;
+      }
+      os << "\n";
+    }
+    return os.str();
+  }
+
+private:
+  std::vector<Instr> code_;
+  std::vector<std::int64_t> consts_;
+};
+
+}  // namespace tb::spec

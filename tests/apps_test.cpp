@@ -1,0 +1,243 @@
+// Per-benchmark correctness tests: every scheduler variant must match the
+// plain sequential recursion, and the Cilk-style versions must match under
+// any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graphcol.hpp"
+#include "apps/minmax.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/uts.hpp"
+#include "core/driver.hpp"
+
+namespace {
+
+using namespace tb;
+using core::SeqPolicy;
+using core::Thresholds;
+
+constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+
+// ---- nqueens -------------------------------------------------------------------
+
+TEST(NQueens, KnownSolutionCounts) {
+  EXPECT_EQ(apps::nqueens_sequential(4, 0, 0, 0), 2u);
+  EXPECT_EQ(apps::nqueens_sequential(6, 0, 0, 0), 4u);
+  EXPECT_EQ(apps::nqueens_sequential(8, 0, 0, 0), 92u);
+  EXPECT_EQ(apps::nqueens_sequential(10, 0, 0, 0), 724u);
+}
+
+class NQueensSchedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NQueensSchedTest, AllLayersAllPolicies) {
+  const int n = GetParam();
+  apps::NQueensProgram prog{n};
+  const auto roots = std::vector{apps::NQueensProgram::root()};
+  const std::uint64_t expected = apps::nqueens_sequential(n, 0, 0, 0);
+  const Thresholds th{8, 128, 64, 16};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::NQueensProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::NQueensProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::NQueensProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boards, NQueensSchedTest, ::testing::Values(5, 6, 7, 8, 9));
+
+TEST(NQueens, CilkMatchesSequential) {
+  rt::ForkJoinPool pool(4);
+  EXPECT_EQ(apps::nqueens_cilk(pool, 8), 92u);
+  EXPECT_EQ(apps::nqueens_cilk(pool, 9), 352u);
+}
+
+TEST(NQueens, ParallelSchedulersMatch) {
+  rt::ForkJoinPool pool(4);
+  apps::NQueensProgram prog{9};
+  const auto roots = std::vector{apps::NQueensProgram::root()};
+  const Thresholds th{8, 128, 64, 16};
+  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::NQueensProgram>>(pool, prog, roots, th),
+            352u);
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::NQueensProgram>>(pool, prog, roots, th),
+            352u);
+}
+
+// ---- graphcol ------------------------------------------------------------------
+
+TEST(GraphCol, EmptyGraphAllColorings) {
+  // With no edges, every vertex can take any of the 3 colors.
+  auto g = apps::GraphColInstance::random(6, 0.0);
+  EXPECT_EQ(apps::graphcol_sequential(g, apps::GraphColProgram::root()), 729u);  // 3^6
+}
+
+TEST(GraphCol, TriangleHasSixColorings) {
+  apps::GraphColInstance g;
+  g.num_vertices = 3;
+  g.lower_adj = {{}, {0}, {0, 1}};
+  EXPECT_EQ(apps::graphcol_sequential(g, apps::GraphColProgram::root()), 6u);  // 3!
+}
+
+TEST(GraphCol, CompleteK4HasNo3Coloring) {
+  apps::GraphColInstance g;
+  g.num_vertices = 4;
+  g.lower_adj = {{}, {0}, {0, 1}, {0, 1, 2}};
+  EXPECT_EQ(apps::graphcol_sequential(g, apps::GraphColProgram::root()), 0u);
+}
+
+class GraphColSchedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphColSchedTest, AllLayersAllPolicies) {
+  const auto g = apps::GraphColInstance::random(GetParam(), 2.5, 11);
+  apps::GraphColProgram prog{&g};
+  const auto roots = std::vector{apps::GraphColProgram::root()};
+  const std::uint64_t expected = apps::graphcol_sequential(g, apps::GraphColProgram::root());
+  const Thresholds th{4, 256, 128, 32};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::GraphColProgram>>(prog, roots, pol, th),
+              expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::GraphColProgram>>(prog, roots, pol, th),
+              expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GraphColSchedTest, ::testing::Values(8, 10, 11, 12));
+
+TEST(GraphCol, VertexAbove32UsesHighWord) {
+  // Exercise the hi-word path (vertices >= 32) without a combinatorial
+  // blow-up: each vertex is adjacent to its two predecessors, so after the
+  // first two choices every color is forced — exactly 3·2 = 6 colorings,
+  // but the recursion still packs/reads colors of vertices 32..39.
+  apps::GraphColInstance g;
+  g.num_vertices = 40;
+  g.lower_adj.resize(40);
+  g.lower_adj[1] = {0};
+  for (int v = 2; v < 40; ++v) g.lower_adj[static_cast<std::size_t>(v)] = {v - 2, v - 1};
+  apps::GraphColProgram prog{&g};
+  const auto roots = std::vector{apps::GraphColProgram::root()};
+  const Thresholds th{4, 512, 256, 64};
+  EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(
+                prog, roots, SeqPolicy::Restart, th),
+            6u);
+  EXPECT_EQ(core::run_seq<core::AosExec<apps::GraphColProgram>>(
+                prog, roots, SeqPolicy::Reexp, th),
+            6u);
+}
+
+TEST(GraphCol, CilkAndParallelMatch) {
+  rt::ForkJoinPool pool(3);
+  const auto g = apps::GraphColInstance::random(12, 3.0, 5);
+  apps::GraphColProgram prog{&g};
+  const std::uint64_t expected = apps::graphcol_sequential(g, apps::GraphColProgram::root());
+  EXPECT_EQ(apps::graphcol_cilk(pool, g), expected);
+  const auto roots = std::vector{apps::GraphColProgram::root()};
+  const Thresholds th{4, 128, 64, 16};
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::GraphColProgram>>(pool, prog, roots, th),
+            expected);
+}
+
+// ---- uts -----------------------------------------------------------------------
+
+TEST(Uts, DeterministicAcrossRuns) {
+  apps::UtsProgram prog(apps::UtsParams{16, 4, 0.2, 3});
+  EXPECT_EQ(apps::uts_sequential_all(prog), apps::uts_sequential_all(prog));
+}
+
+TEST(Uts, TreeIsNontrivialAndFinite) {
+  apps::UtsProgram prog(apps::UtsParams{32, 4, 0.22, 5});
+  const auto roots = prog.roots();
+  const auto info = core::count_tree(prog, roots);
+  EXPECT_GT(info.tasks, static_cast<std::uint64_t>(roots.size()));
+  EXPECT_GT(info.levels, 3);
+}
+
+class UtsSchedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UtsSchedTest, AllLayersAllPolicies) {
+  apps::UtsProgram prog(apps::UtsParams{32, 4, 0.21, GetParam()});
+  const auto roots = prog.roots();
+  const std::uint64_t expected = apps::uts_sequential_all(prog);
+  const Thresholds th{4, 128, 64, 16};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtsSchedTest, ::testing::Values(1, 2, 3, 4, 99));
+
+TEST(Uts, CilkAndParallelMatch) {
+  rt::ForkJoinPool pool(4);
+  apps::UtsProgram prog(apps::UtsParams{32, 4, 0.21, 7});
+  const std::uint64_t expected = apps::uts_sequential_all(prog);
+  EXPECT_EQ(apps::uts_cilk(pool, prog), expected);
+  const auto roots = prog.roots();
+  const Thresholds th{4, 128, 64, 16};
+  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::UtsProgram>>(pool, prog, roots, th),
+            expected);
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::UtsProgram>>(pool, prog, roots, th),
+            expected);
+}
+
+// ---- minmax --------------------------------------------------------------------
+
+TEST(Minmax, WinDetection) {
+  EXPECT_TRUE(apps::MinmaxProgram::won(0x000Fu));   // bottom row
+  EXPECT_TRUE(apps::MinmaxProgram::won(0x8421u));   // diagonal
+  EXPECT_TRUE(apps::MinmaxProgram::won(0xFFFFu));   // full board
+  EXPECT_FALSE(apps::MinmaxProgram::won(0x0007u));  // three in a row only
+  EXPECT_FALSE(apps::MinmaxProgram::won(0));
+}
+
+TEST(Minmax, LeafStatisticsConsistency) {
+  apps::MinmaxProgram prog{6};
+  const auto r = apps::minmax_sequential(prog, apps::MinmaxProgram::root());
+  EXPECT_GT(r.leaves, 0u);
+  EXPECT_EQ(r.score_sum,
+            static_cast<std::int64_t>(r.x_wins) - static_cast<std::int64_t>(r.o_wins));
+  EXPECT_LE(r.x_wins + r.o_wins, r.leaves);
+}
+
+class MinmaxSchedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinmaxSchedTest, AllLayersAllPolicies) {
+  apps::MinmaxProgram prog{GetParam()};
+  const auto roots = std::vector{apps::MinmaxProgram::root()};
+  const auto expected = apps::minmax_sequential(prog, apps::MinmaxProgram::root());
+  const Thresholds th{8, 256, 128, 32};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::MinmaxProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::MinmaxProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::MinmaxProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlyLimits, MinmaxSchedTest, ::testing::Values(3, 4, 5));
+
+TEST(Minmax, CilkAndParallelMatch) {
+  rt::ForkJoinPool pool(4);
+  apps::MinmaxProgram prog{5};
+  const auto expected = apps::minmax_sequential(prog, apps::MinmaxProgram::root());
+  EXPECT_EQ(apps::minmax_cilk(pool, prog), expected);
+  const auto roots = std::vector{apps::MinmaxProgram::root()};
+  const Thresholds th{8, 256, 128, 32};
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::MinmaxProgram>>(pool, prog, roots, th),
+            expected);
+}
+
+TEST(Minmax, TrueMinimaxValueOfEmpty4x4IsDraw) {
+  // With a shallow cutoff neither side can force a win from the empty board.
+  apps::MinmaxProgram prog{5};
+  EXPECT_EQ(apps::minmax_value(prog, apps::MinmaxProgram::root()), 0);
+}
+
+}  // namespace

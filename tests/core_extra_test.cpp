@@ -1,0 +1,285 @@
+// Additional core coverage: the leveled deque's restart-scan semantics, the
+// block pool, threshold clamping, the ideal (Fig. 3b) restart scheduler,
+// tree materialization, and multi-root / multi-degree simulation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/fib.hpp"
+#include "apps/minmax.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/parentheses.hpp"
+#include "apps/uts.hpp"
+#include "core/block_pool.hpp"
+#include "core/driver.hpp"
+#include "core/ideal_restart.hpp"
+#include "core/leveled_deque.hpp"
+#include "sim/materialize.hpp"
+#include "sim/par_sim.hpp"
+#include "sim/tree_program.hpp"
+
+namespace {
+
+using namespace tb;
+using Block = core::AosBlock<int>;
+
+Block make_block(int level, std::initializer_list<int> vals) {
+  Block b;
+  b.set_level(level);
+  for (int v : vals) b.push_back(v);
+  return b;
+}
+
+// ---- LeveledDeque ---------------------------------------------------------------
+
+TEST(LeveledDeque, PopDeepestOrder) {
+  core::LeveledDeque<Block> dq;
+  dq.push(make_block(1, {1}));
+  dq.push(make_block(3, {3}));
+  dq.push(make_block(2, {2}));
+  Block out;
+  ASSERT_TRUE(dq.pop_deepest(out));
+  EXPECT_EQ(out.level(), 3);
+  ASSERT_TRUE(dq.pop_deepest(out));
+  EXPECT_EQ(out.level(), 2);
+  ASSERT_TRUE(dq.pop_deepest(out));
+  EXPECT_EQ(out.level(), 1);
+  EXPECT_FALSE(dq.pop_deepest(out));
+}
+
+TEST(LeveledDeque, PushMergeConcatenatesSameLevel) {
+  core::LeveledDeque<Block> dq;
+  dq.push_merge(make_block(2, {1, 2}));
+  dq.push_merge(make_block(2, {3}));
+  EXPECT_EQ(dq.blocks_at(2), 1u);
+  EXPECT_EQ(dq.total_tasks(), 3u);
+  Block out;
+  ASSERT_TRUE(dq.pop_deepest(out));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(LeveledDeque, PushKeepsBlocksDistinct) {
+  core::LeveledDeque<Block> dq;
+  dq.push(make_block(2, {1}));
+  dq.push(make_block(2, {2}));
+  EXPECT_EQ(dq.blocks_at(2), 2u);
+}
+
+TEST(LeveledDeque, RestartScanFindsDeepestDenseLevel) {
+  core::LeveledDeque<Block> dq;
+  dq.push_merge(make_block(1, {1, 2, 3, 4, 5}));  // dense but shallow
+  dq.push_merge(make_block(4, {6, 7, 8}));        // dense and deepest
+  dq.push_merge(make_block(6, {9}));              // deepest but sparse
+  Block out;
+  const auto r = dq.restart_scan(/*threshold=*/3, out, /*cap=*/100);
+  EXPECT_EQ(r, core::LeveledDeque<Block>::Scan::Dense);
+  EXPECT_EQ(out.level(), 4);
+  EXPECT_EQ(out.size(), 3u);
+  // The sparse deeper block and the shallow one remain.
+  EXPECT_EQ(dq.total_tasks(), 6u);
+}
+
+TEST(LeveledDeque, RestartScanMergesBeforeJudging) {
+  core::LeveledDeque<Block> dq;
+  dq.push(make_block(2, {1, 2}));
+  dq.push(make_block(2, {3, 4}));
+  Block out;
+  // Individually below threshold 3, merged above it.
+  EXPECT_EQ(dq.restart_scan(3, out, 100), core::LeveledDeque<Block>::Scan::Dense);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(LeveledDeque, RestartScanReturnsTopWhenNothingDense) {
+  core::LeveledDeque<Block> dq;
+  dq.push_merge(make_block(1, {1}));
+  dq.push_merge(make_block(5, {2}));
+  Block out;
+  EXPECT_EQ(dq.restart_scan(10, out, 100), core::LeveledDeque<Block>::Scan::Top);
+  EXPECT_EQ(out.level(), 1);  // shallowest
+  EXPECT_EQ(dq.total_tasks(), 1u);
+}
+
+TEST(LeveledDeque, RestartScanRespectsCap) {
+  core::LeveledDeque<Block> dq;
+  Block big = make_block(3, {});
+  for (int i = 0; i < 100; ++i) big.push_back(i);
+  dq.push_merge(std::move(big));
+  Block out;
+  EXPECT_EQ(dq.restart_scan(8, out, /*cap=*/32), core::LeveledDeque<Block>::Scan::Dense);
+  EXPECT_EQ(out.size(), 32u);
+  EXPECT_EQ(dq.total_tasks(), 68u);  // remainder stays parked
+}
+
+TEST(LeveledDeque, StealShallowestTakesTop) {
+  core::LeveledDeque<Block> dq;
+  dq.push_merge(make_block(2, {1, 2}));
+  dq.push_merge(make_block(5, {3}));
+  Block out;
+  ASSERT_TRUE(dq.steal_shallowest(out, 100));
+  EXPECT_EQ(out.level(), 2);
+  ASSERT_TRUE(dq.steal_shallowest(out, 100));
+  EXPECT_EQ(out.level(), 5);
+  EXPECT_FALSE(dq.steal_shallowest(out, 100));
+}
+
+TEST(LeveledDeque, AbsorbLevelPullsParkedBlocks) {
+  core::LeveledDeque<Block> dq;
+  dq.push_merge(make_block(3, {1, 2}));
+  Block cur = make_block(3, {10});
+  dq.absorb_level(3, cur);
+  EXPECT_EQ(cur.size(), 3u);
+  EXPECT_TRUE(dq.empty());
+}
+
+// ---- BlockPool / Thresholds -------------------------------------------------------
+
+TEST(BlockPool, RecyclesClearedBlocks) {
+  core::BlockPool<Block> pool;
+  Block b = pool.get(3);
+  b.push_back(1);
+  b.push_back(2);
+  pool.put(std::move(b));
+  Block c = pool.get(7);
+  EXPECT_EQ(c.level(), 7);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Thresholds, ClampOrdering) {
+  const auto t = core::Thresholds{8, 100, 400, 900}.clamped();
+  EXPECT_EQ(t.t_dfe, 100u);
+  EXPECT_EQ(t.t_bfe, 100u);     // clamped down to t_dfe
+  EXPECT_EQ(t.t_restart, 100u); // clamped down to t_dfe
+  const auto tiny = core::Thresholds{8, 0, 0, 0}.clamped();
+  EXPECT_EQ(tiny.t_dfe, 1u);  // sub-Q blocks stay legal (Fig. 4 sweeps 2^0)
+}
+
+TEST(Thresholds, ForBlockSizeDefaults) {
+  const auto t = core::Thresholds::for_block_size(8, 1024);
+  EXPECT_EQ(t.q, 8);
+  EXPECT_EQ(t.t_dfe, 1024u);
+  EXPECT_EQ(t.t_bfe, 1024u);  // k1 ≈ k
+  EXPECT_EQ(t.t_restart, 64u);
+}
+
+// ---- IdealRestart ------------------------------------------------------------------
+
+class IdealRestartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdealRestartTest, FibMatchesOracle) {
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(23)};
+  const auto th = core::Thresholds::for_block_size(8, 256, 32);
+  EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::FibProgram>>(prog, roots, th,
+                                                                      GetParam()),
+            apps::fib_sequential(23));
+}
+
+TEST_P(IdealRestartTest, ParenthesesMatchesOracle) {
+  apps::ParenthesesProgram prog;
+  const auto roots = std::vector{apps::ParenthesesProgram::root(11)};
+  const auto th = core::Thresholds::for_block_size(8, 128, 16);
+  EXPECT_EQ(core::run_ideal_restart<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, th,
+                                                                             GetParam()),
+            apps::parentheses_sequential(11, 11));
+}
+
+TEST_P(IdealRestartTest, NQueensHighFanoutMatchesOracle) {
+  apps::NQueensProgram prog{9};
+  const auto roots = std::vector{apps::NQueensProgram::root()};
+  const auto th = core::Thresholds::for_block_size(8, 128, 16);
+  EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::NQueensProgram>>(prog, roots, th,
+                                                                          GetParam()),
+            352u);
+}
+
+TEST_P(IdealRestartTest, CensusIsExact) {
+  apps::UtsProgram prog(apps::UtsParams{64, 4, 0.22, 5});
+  const auto roots = prog.roots();
+  const auto info = core::count_tree(prog, roots);
+  core::ExecStats st;
+  const auto th = core::Thresholds::for_block_size(4, 64, 8);
+  (void)core::run_ideal_restart<core::SimdExec<apps::UtsProgram>>(prog, roots, th, GetParam(),
+                                                                  &st);
+  EXPECT_EQ(st.tasks_executed, info.tasks);
+  EXPECT_EQ(st.leaves, info.leaves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, IdealRestartTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(IdealRestart, RepeatedRunsStayCorrect) {
+  apps::MinmaxProgram prog{5};
+  const auto roots = std::vector{apps::MinmaxProgram::root()};
+  const auto expected = apps::minmax_sequential(prog, apps::MinmaxProgram::root());
+  const auto th = core::Thresholds::for_block_size(8, 256, 32);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::MinmaxProgram>>(prog, roots, th, 4),
+              expected);
+  }
+}
+
+// ---- materialize + multi-root simulation -------------------------------------------
+
+TEST(Materialize, FibTreeMatchesCensus) {
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(14)};
+  const auto info = core::count_tree(prog, roots);
+  const auto mat = sim::materialize(prog, roots);
+  EXPECT_EQ(mat.tree.num_nodes(), info.tasks);
+  EXPECT_EQ(mat.tree.height, info.levels);
+  EXPECT_EQ(mat.tree.num_leaves(), info.leaves);
+  ASSERT_EQ(mat.roots.size(), 1u);
+}
+
+TEST(Materialize, MultiRootPreservesRootCount) {
+  apps::UtsProgram prog(apps::UtsParams{32, 4, 0.2, 9});
+  const auto roots = prog.roots();
+  const auto mat = sim::materialize(prog, roots);
+  EXPECT_EQ(mat.roots.size(), roots.size());
+  for (const auto r : mat.roots) EXPECT_EQ(mat.tree.depth[static_cast<std::size_t>(r)], 0);
+}
+
+TEST(Materialize, CapThrows) {
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(20)};
+  EXPECT_THROW((void)sim::materialize(prog, roots, /*max_nodes=*/100), std::runtime_error);
+}
+
+TEST(ParSimMultiRoot, ExecutesAllRoots) {
+  apps::UtsProgram prog(apps::UtsParams{48, 4, 0.21, 3});
+  const auto roots = prog.roots();
+  const auto mat = sim::materialize(prog, roots);
+  for (const auto pol : {sim::SimPolicy::ScalarWS, sim::SimPolicy::Reexp,
+                         sim::SimPolicy::Restart}) {
+    sim::SimConfig cfg;
+    cfg.p = 3;
+    cfg.q = 4;
+    cfg.policy = pol;
+    const auto res = sim::simulate(mat.tree, cfg, mat.roots);
+    EXPECT_EQ(res.tasks, mat.tree.num_nodes()) << sim::to_string(pol);
+  }
+}
+
+TEST(ParSimMultiDegree, HandlesFanOutAboveTwo) {
+  // nqueens(6) has out-degree up to 6; every task must still execute once.
+  apps::NQueensProgram prog{6};
+  const auto roots = std::vector{apps::NQueensProgram::root()};
+  const auto mat = sim::materialize(prog, roots);
+  EXPECT_GT(mat.tree.max_degree(), 2);
+  sim::SimConfig cfg;
+  cfg.p = 4;
+  cfg.q = 8;
+  cfg.t_dfe = 32;
+  cfg.policy = sim::SimPolicy::Restart;
+  const auto res = sim::simulate(mat.tree, cfg, mat.roots);
+  EXPECT_EQ(res.tasks, mat.tree.num_nodes());
+}
+
+TEST(RandomBinaryGenerator, NeverDegenerate) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto t = sim::CompTree::random_binary(10000, 0.9, seed);
+    EXPECT_GT(t.num_nodes(), 60u) << "seed " << seed;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+// Integration tests for the task-block scheduling framework: every policy ×
+// every execution layer × several threshold settings must reproduce the
+// sequential-recursion oracle, and the recorded statistics must satisfy the
+// structural claims of §4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/binomial.hpp"
+#include "apps/fib.hpp"
+#include "apps/knapsack.hpp"
+#include "apps/parentheses.hpp"
+#include "core/driver.hpp"
+
+namespace {
+
+using namespace tb;
+using core::ExecStats;
+using core::SeqPolicy;
+using core::Thresholds;
+
+constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+
+// ---- sequential schedulers: result correctness --------------------------------
+
+struct ThresholdCase {
+  int q;
+  std::size_t t_dfe;
+  std::size_t t_bfe;
+  std::size_t t_restart;
+};
+
+class SeqSchedulerTest : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(SeqSchedulerTest, FibAllLayersAllPolicies) {
+  const auto tc = GetParam();
+  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(21)};
+  const std::uint64_t expected = apps::fib_sequential(21);
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::FibProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::FibProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th), expected);
+  }
+}
+
+TEST_P(SeqSchedulerTest, BinomialAllLayersAllPolicies) {
+  const auto tc = GetParam();
+  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+  apps::BinomialProgram prog;
+  const auto roots = std::vector{apps::BinomialProgram::root(20, 7)};
+  const std::uint64_t expected = apps::binomial_sequential(20, 7);  // 77520
+  ASSERT_EQ(expected, 77520u);
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::BinomialProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::BinomialProgram>>(prog, roots, pol, th), expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::BinomialProgram>>(prog, roots, pol, th), expected);
+  }
+}
+
+TEST_P(SeqSchedulerTest, ParenthesesAllLayersAllPolicies) {
+  const auto tc = GetParam();
+  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+  apps::ParenthesesProgram prog;
+  const auto roots = std::vector{apps::ParenthesesProgram::root(9)};
+  const std::uint64_t expected = apps::parentheses_sequential(9, 9);  // Catalan(9) = 4862
+  ASSERT_EQ(expected, 4862u);
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
+              expected);
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
+              expected);
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+TEST_P(SeqSchedulerTest, KnapsackAllLayersAllPolicies) {
+  const auto tc = GetParam();
+  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+  const auto inst = apps::KnapsackInstance::random(14);
+  apps::KnapsackProgram prog{&inst};
+  const auto roots = std::vector{prog.root()};
+  const auto expected = apps::knapsack_sequential(inst, 0, inst.capacity, 0);
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    const auto a = core::run_seq<core::AosExec<apps::KnapsackProgram>>(prog, roots, pol, th);
+    const auto s = core::run_seq<core::SoaExec<apps::KnapsackProgram>>(prog, roots, pol, th);
+    const auto v = core::run_seq<core::SimdExec<apps::KnapsackProgram>>(prog, roots, pol, th);
+    for (const auto& r : {a, s, v}) {
+      EXPECT_EQ(r.leaves, expected.leaves);
+      EXPECT_EQ(r.best, expected.best);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, SeqSchedulerTest,
+    ::testing::Values(ThresholdCase{8, 8, 8, 8},       // minimal blocks
+                      ThresholdCase{8, 64, 64, 16},    // small
+                      ThresholdCase{8, 256, 128, 32},  // t_bfe < t_dfe
+                      ThresholdCase{8, 4096, 4096, 256},
+                      ThresholdCase{4, 32, 16, 8},
+                      ThresholdCase{1, 1, 1, 1}),  // degenerate: pure depth-first
+    [](const auto& info) {
+      const auto& t = info.param;
+      return "q" + std::to_string(t.q) + "_dfe" + std::to_string(t.t_dfe) + "_bfe" +
+             std::to_string(t.t_bfe) + "_rs" + std::to_string(t.t_restart);
+    });
+
+// ---- statistics invariants -----------------------------------------------------
+
+TEST(ExecStatsInvariants, TaskAndLeafCensusMatchesTree) {
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(18)};
+  const auto info = core::count_tree(prog, roots);
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    ExecStats st;
+    const Thresholds th{8, 128, 128, 32};
+    (void)core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th, &st);
+    EXPECT_EQ(st.tasks_executed, info.tasks);
+    EXPECT_EQ(st.leaves, info.leaves);
+    // Claim 2: complete steps <= n / Q.
+    EXPECT_LE(st.steps_complete, info.tasks / 8);
+    // Steps sandwich: n/Q <= total steps <= n.
+    EXPECT_GE(st.steps_total, info.tasks / 8);
+    EXPECT_LE(st.steps_total, info.tasks);
+    EXPECT_GT(st.simd_utilization(), 0.0);
+    EXPECT_LE(st.simd_utilization(), 1.0);
+  }
+}
+
+TEST(ExecStatsInvariants, RestartBeatsBasicUtilizationOnSmallBlocks) {
+  // The headline qualitative claim of Fig. 4 at small block sizes, checked
+  // on an unbalanced tree where the basic policy starves.
+  apps::ParenthesesProgram prog;
+  const auto roots = std::vector{apps::ParenthesesProgram::root(10)};
+  const Thresholds th{8, 32, 32, 16};
+  ExecStats basic, restart;
+  (void)core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, SeqPolicy::Basic, th,
+                                                               &basic);
+  (void)core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, SeqPolicy::Restart,
+                                                               th, &restart);
+  EXPECT_GE(restart.simd_utilization() + 1e-9, basic.simd_utilization());
+}
+
+TEST(ExecStatsInvariants, SequentialRestartStepsNearOptimal) {
+  // Theorem 3: restart runs in Θ(n/Q + h) — check a generous constant.
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(20)};
+  const auto info = core::count_tree(prog, roots);
+  ExecStats st;
+  const Thresholds th{8, 64, 64, 8};
+  (void)core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, SeqPolicy::Restart, th, &st);
+  const double bound = static_cast<double>(info.tasks) / 8.0 +
+                       static_cast<double>(info.levels) * 8.0;
+  EXPECT_LE(static_cast<double>(st.steps_total), 4.0 * bound);
+}
+
+TEST(TreeCensus, FibKnownCounts) {
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(10)};
+  const auto info = core::count_tree(prog, roots);
+  // Nodes in the fib call tree: 2*fib(n+1)-1.
+  EXPECT_EQ(info.tasks, 2 * apps::fib_sequential(11) - 1);
+  EXPECT_EQ(info.levels, 10);  // depth of fib tree for n=10: levels 0..9
+}
+
+TEST(StripMining, OuterDataParallelRoots) {
+  // Many root tasks (a data-parallel outer loop) sliced into t_dfe-sized
+  // initial blocks must still produce the combined reduction.
+  apps::FibProgram prog;
+  std::vector<apps::FibProgram::Task> roots;
+  std::uint64_t expected = 0;
+  for (int n = 3; n < 40; ++n) {
+    roots.push_back(apps::FibProgram::root(n % 17));
+    expected += apps::fib_sequential(n % 17);
+  }
+  const Thresholds th{8, 16, 16, 8};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th), expected);
+  }
+}
+
+// ---- parallel schedulers --------------------------------------------------------
+
+class ParSchedulerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParSchedulerTest, ReexpMatchesOracle) {
+  rt::ForkJoinPool pool(GetParam());
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(22)};
+  const std::uint64_t expected = apps::fib_sequential(22);
+  const Thresholds th{8, 256, 128, 32};
+  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th),
+            expected);
+  EXPECT_EQ(core::run_par_reexp<core::AosExec<apps::FibProgram>>(pool, prog, roots, th),
+            expected);
+}
+
+TEST_P(ParSchedulerTest, RestartMatchesOracle) {
+  rt::ForkJoinPool pool(GetParam());
+  apps::FibProgram prog;
+  const auto roots = std::vector{apps::FibProgram::root(22)};
+  const std::uint64_t expected = apps::fib_sequential(22);
+  const Thresholds th{8, 256, 128, 32};
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th),
+            expected);
+}
+
+TEST_P(ParSchedulerTest, RestartWithoutElisionMatchesOracle) {
+  rt::ForkJoinPool pool(GetParam());
+  apps::ParenthesesProgram prog;
+  const auto roots = std::vector{apps::ParenthesesProgram::root(10)};
+  const std::uint64_t expected = apps::parentheses_sequential(10, 10);
+  const Thresholds th{8, 128, 64, 32};
+  EXPECT_EQ(core::run_par_restart<core::SoaExec<apps::ParenthesesProgram>>(
+                pool, prog, roots, th, nullptr, 0, /*elide_merges=*/false),
+            expected);
+}
+
+TEST_P(ParSchedulerTest, RestartKnapsackMatchesOracle) {
+  rt::ForkJoinPool pool(GetParam());
+  const auto inst = apps::KnapsackInstance::random(15);
+  apps::KnapsackProgram prog{&inst};
+  const auto roots = std::vector{prog.root()};
+  const auto expected = apps::knapsack_sequential(inst, 0, inst.capacity, 0);
+  const Thresholds th{8, 128, 64, 16};
+  const auto r = core::run_par_restart<core::SimdExec<apps::KnapsackProgram>>(pool, prog, roots, th);
+  EXPECT_EQ(r.leaves, expected.leaves);
+  EXPECT_EQ(r.best, expected.best);
+}
+
+TEST_P(ParSchedulerTest, ParallelStatsCensusIsExact) {
+  rt::ForkJoinPool pool(GetParam());
+  apps::BinomialProgram prog;
+  const auto roots = std::vector{apps::BinomialProgram::root(18, 6)};
+  const auto info = core::count_tree(prog, roots);
+  ExecStats st_reexp, st_restart;
+  const Thresholds th{8, 64, 64, 16};
+  (void)core::run_par_reexp<core::SoaExec<apps::BinomialProgram>>(pool, prog, roots, th,
+                                                                  &st_reexp);
+  (void)core::run_par_restart<core::SoaExec<apps::BinomialProgram>>(pool, prog, roots, th,
+                                                                    &st_restart);
+  EXPECT_EQ(st_reexp.tasks_executed, info.tasks);
+  EXPECT_EQ(st_restart.tasks_executed, info.tasks);
+  EXPECT_EQ(st_reexp.leaves, info.leaves);
+  EXPECT_EQ(st_restart.leaves, info.leaves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParSchedulerTest, ::testing::Values(1, 2, 4, 8));
+
+// Repeated parallel runs are deterministic in value (schedule varies).
+TEST(ParSchedulerStress, RepeatedRunsStayCorrect) {
+  rt::ForkJoinPool pool(4);
+  apps::ParenthesesProgram prog;
+  const auto roots = std::vector{apps::ParenthesesProgram::root(11)};
+  const std::uint64_t expected = apps::parentheses_sequential(11, 11);
+  const Thresholds th{8, 64, 32, 16};
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::ParenthesesProgram>>(pool, prog, roots,
+                                                                              th),
+              expected)
+        << "round " << round;
+  }
+}
+
+}  // namespace

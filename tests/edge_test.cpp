@@ -1,0 +1,321 @@
+// Edge cases and adversarial inputs: degenerate trees, dying branches,
+// empty work, threshold extremes, and cross-variant digest agreement on
+// randomized instances.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/fib.hpp"
+#include "apps/graphcol.hpp"
+#include "apps/knapsack.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/parentheses.hpp"
+#include "apps/uts.hpp"
+#include "core/driver.hpp"
+#include "core/ideal_restart.hpp"
+
+namespace {
+
+using namespace tb;
+using core::SeqPolicy;
+using core::Thresholds;
+
+constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+
+// A program whose every branch dies without reaching a leaf beyond depth d:
+// exercises blocks that empty out with no reduction at all.
+struct DyingProgram {
+  struct Task {
+    std::int32_t depth;
+  };
+  using Result = std::uint64_t;
+  static constexpr int max_children = 2;
+  int die_at = 5;
+
+  static Result identity() { return 0; }
+  static void combine(Result& a, const Result& b) { a += b; }
+  bool is_base(const Task&) const { return false; }  // never a leaf...
+  void leaf(const Task&, Result& r) const { r += 1; }
+  template <class Emit>
+  void expand(const Task& t, Emit&& emit) const {
+    if (t.depth + 1 >= die_at) return;  // ...branches just stop spawning
+    emit(0, Task{t.depth + 1});
+    emit(1, Task{t.depth + 1});
+  }
+  using Block = simd::SoaBlock<std::int32_t>;
+  static Task task_at(const Block& b, std::size_t i) { return Task{std::get<0>(b.row(i))}; }
+  static void append_task(Block& b, const Task& t) { b.push_back(t.depth); }
+};
+
+TEST(EdgeCases, AllBranchesDieWithoutLeaves) {
+  DyingProgram prog;
+  const std::vector<DyingProgram::Task> roots{{0}};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    core::ExecStats st;
+    const auto th = Thresholds::for_block_size(8, 64, 8);
+    EXPECT_EQ(core::run_seq<core::SoaExec<DyingProgram>>(prog, roots, pol, th, &st), 0u);
+    EXPECT_EQ(st.leaves, 0u);
+    EXPECT_EQ(st.tasks_executed, (1u << prog.die_at) - 1);  // full binary to depth
+  }
+}
+
+TEST(EdgeCases, EmptyRootSetIsANoop) {
+  apps::FibProgram prog;
+  const std::vector<apps::FibProgram::Task> roots;
+  const auto th = Thresholds::for_block_size(8, 64, 8);
+  EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots,
+                                                            SeqPolicy::Restart, th),
+            0u);
+  rt::ForkJoinPool pool(2);
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th),
+            0u);
+  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th), 0u);
+}
+
+TEST(EdgeCases, RootIsAlreadyALeaf) {
+  apps::FibProgram prog;
+  const std::vector roots{apps::FibProgram::root(1)};
+  const auto th = Thresholds::for_block_size(8, 64, 8);
+  for (auto pol : kPolicies) {
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th), 1u);
+  }
+  EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::FibProgram>>(prog, roots, th, 2), 1u);
+}
+
+TEST(EdgeCases, BlockSizeOneDegeneratesToDepthFirst) {
+  // t_dfe = 1: every block holds one task; all policies must still be
+  // correct (this is the far-left end of Fig. 4).
+  apps::ParenthesesProgram prog;
+  const std::vector roots{apps::ParenthesesProgram::root(8)};
+  const std::uint64_t expected = apps::parentheses_sequential(8, 8);
+  const Thresholds th{8, 1, 1, 1};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+TEST(EdgeCases, HugeBlockSizeDegeneratesToBreadthFirst) {
+  apps::ParenthesesProgram prog;
+  const std::vector roots{apps::ParenthesesProgram::root(8)};
+  const std::uint64_t expected = apps::parentheses_sequential(8, 8);
+  const Thresholds th{8, 1u << 30, 1u << 30, 1u << 20};
+  for (auto pol : kPolicies) {
+    core::ExecStats st;
+    EXPECT_EQ(core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th, &st),
+              expected);
+    // Pure BFE: exactly one superstep per level.
+    EXPECT_LE(st.supersteps, 17u);
+  }
+}
+
+TEST(EdgeCases, InfeasibleKnapsackStillTerminates) {
+  // Capacity 0: only the all-exclude path survives.
+  apps::KnapsackInstance inst;
+  inst.weight = {5, 3, 9};
+  inst.value = {1, 2, 3};
+  inst.capacity = 0;
+  apps::KnapsackProgram prog{&inst};
+  const std::vector roots{prog.root()};
+  const auto th = Thresholds::for_block_size(8, 16, 4);
+  for (auto pol : kPolicies) {
+    const auto r = core::run_seq<core::SimdExec<apps::KnapsackProgram>>(prog, roots, pol, th);
+    EXPECT_EQ(r.leaves, 1u);
+    EXPECT_EQ(r.best, 0);
+  }
+}
+
+TEST(EdgeCases, UnsatisfiableGraphColoring) {
+  // K4 needs 4 colors: zero leaves through every variant.
+  apps::GraphColInstance g;
+  g.num_vertices = 4;
+  g.lower_adj = {{}, {0}, {0, 1}, {0, 1, 2}};
+  apps::GraphColProgram prog{&g};
+  const std::vector roots{apps::GraphColProgram::root()};
+  const auto th = Thresholds::for_block_size(4, 32, 4);
+  for (auto pol : kPolicies) {
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(prog, roots, pol, th), 0u);
+  }
+  rt::ForkJoinPool pool(3);
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::GraphColProgram>>(pool, prog, roots, th),
+            0u);
+}
+
+TEST(EdgeCases, NQueensNoSolutionBoards) {
+  // n=2 and n=3 have zero solutions but non-trivial partial trees.
+  for (const int n : {2, 3}) {
+    apps::NQueensProgram prog{n};
+    const std::vector roots{apps::NQueensProgram::root()};
+    const auto th = Thresholds::for_block_size(8, 16, 4);
+    for (auto pol : kPolicies) {
+      EXPECT_EQ(core::run_seq<core::SimdExec<apps::NQueensProgram>>(prog, roots, pol, th), 0u)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(EdgeCases, StripSizeSmallerThanRootCount) {
+  // Strip-mining with a tiny strip: many sequential scheduler invocations.
+  apps::FibProgram prog;
+  std::vector<apps::FibProgram::Task> roots;
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 37; ++i) {
+    roots.push_back(apps::FibProgram::root(10 + (i % 5)));
+    expected += apps::fib_sequential(10 + (i % 5));
+  }
+  const auto th = Thresholds::for_block_size(8, 64, 8);
+  EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, SeqPolicy::Restart,
+                                                            th, nullptr, /*strip=*/3),
+            expected);
+  rt::ForkJoinPool pool(2);
+  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th,
+                                                                    nullptr, /*strip=*/5),
+            expected);
+}
+
+// Property sweep: on random knapsack instances, every (policy × layer ×
+// scheduler) combination agrees with the oracle.
+class RandomInstanceAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceAgreement, KnapsackAllVariants) {
+  const auto inst = apps::KnapsackInstance::random(13, GetParam());
+  apps::KnapsackProgram prog{&inst};
+  const std::vector roots{prog.root()};
+  const auto expected = apps::knapsack_sequential(inst, 0, inst.capacity, 0);
+  const auto th = Thresholds::for_block_size(8, 128, 16);
+  rt::ForkJoinPool pool(3);
+  for (auto pol : kPolicies) {
+    const auto r = core::run_seq<core::SimdExec<apps::KnapsackProgram>>(prog, roots, pol, th);
+    EXPECT_EQ(r.leaves, expected.leaves);
+    EXPECT_EQ(r.best, expected.best);
+  }
+  const auto pr = core::run_par_restart<core::SimdExec<apps::KnapsackProgram>>(pool, prog,
+                                                                               roots, th);
+  EXPECT_EQ(pr.leaves, expected.leaves);
+  EXPECT_EQ(pr.best, expected.best);
+  const auto ir =
+      core::run_ideal_restart<core::SimdExec<apps::KnapsackProgram>>(prog, roots, th, 3);
+  EXPECT_EQ(ir.leaves, expected.leaves);
+  EXPECT_EQ(ir.best, expected.best);
+}
+
+TEST_P(RandomInstanceAgreement, GraphColAllVariants) {
+  const auto g = apps::GraphColInstance::random(11, 2.8, GetParam());
+  apps::GraphColProgram prog{&g};
+  const std::vector roots{apps::GraphColProgram::root()};
+  const std::uint64_t expected = apps::graphcol_sequential(g, apps::GraphColProgram::root());
+  const auto th = Thresholds::for_block_size(4, 64, 8);
+  for (auto pol : kPolicies) {
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(prog, roots, pol, th),
+              expected);
+    EXPECT_EQ(core::run_seq<core::AosExec<apps::GraphColProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+TEST_P(RandomInstanceAgreement, UtsAllVariants) {
+  apps::UtsProgram prog(apps::UtsParams{24, 4, 0.2, GetParam()});
+  const auto roots = prog.roots();
+  const std::uint64_t expected = apps::uts_sequential_all(prog);
+  const auto th = Thresholds::for_block_size(4, 32, 8);
+  rt::ForkJoinPool pool(2);
+  for (auto pol : kPolicies) {
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
+  }
+  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::UtsProgram>>(pool, prog, roots, th),
+            expected);
+  EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::UtsProgram>>(prog, roots, th, 2),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceAgreement,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+// Threshold torture: weird combinations must never affect results.
+struct OddThresholds {
+  int q;
+  std::size_t dfe, bfe, restart;
+};
+
+class ThresholdTorture : public ::testing::TestWithParam<OddThresholds> {};
+
+TEST_P(ThresholdTorture, ParenthesesAgrees) {
+  const auto p = GetParam();
+  apps::ParenthesesProgram prog;
+  const std::vector roots{apps::ParenthesesProgram::root(9)};
+  const std::uint64_t expected = apps::parentheses_sequential(9, 9);
+  const Thresholds th{p.q, p.dfe, p.bfe, p.restart};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    EXPECT_EQ(core::run_seq<core::SimdExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
+              expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, ThresholdTorture,
+    ::testing::Values(OddThresholds{1, 1, 1, 1}, OddThresholds{3, 7, 5, 2},
+                      OddThresholds{8, 9, 9, 9}, OddThresholds{16, 1000000, 1, 1},
+                      OddThresholds{8, 2, 1000, 1000},  // recovery thresholds clamp down
+                      OddThresholds{5, 33, 17, 31}));
+
+// A unary chain: every task spawns exactly one child until depth runs out.
+// Zero parallelism, maximal tree height — the deque grows one level per
+// task and every block has exactly one task (all steps incomplete).
+struct ChainProgram {
+  struct Task {
+    std::int32_t remaining;
+  };
+  using Result = std::uint64_t;
+  static constexpr int max_children = 1;
+
+  static Result identity() { return 0; }
+  static void combine(Result& a, const Result& b) { a += b; }
+  bool is_base(const Task& t) const { return t.remaining == 0; }
+  void leaf(const Task&, Result& r) const { r += 1; }
+  template <class Emit>
+  void expand(const Task& t, Emit&& emit) const {
+    emit(0, Task{t.remaining - 1});
+  }
+  using Block = simd::SoaBlock<std::int32_t>;
+  static Task task_at(const Block& b, std::size_t i) { return Task{std::get<0>(b.row(i))}; }
+  static void append_task(Block& b, const Task& t) { b.push_back(t.remaining); }
+};
+
+TEST(EdgeCases, DeepUnaryChainTwentyThousandLevels) {
+  // 20k levels: the iterative schedulers must neither overflow the C++
+  // stack nor mismanage a 20k-level deque; exactly one leaf at the bottom.
+  ChainProgram prog;
+  const std::vector<ChainProgram::Task> roots{{20000}};
+  for (auto pol : kPolicies) {
+    SCOPED_TRACE(core::to_string(pol));
+    core::ExecStats st;
+    const auto th = Thresholds::for_block_size(8, 64, 8);
+    EXPECT_EQ(core::run_seq<core::SoaExec<ChainProgram>>(prog, roots, pol, th, &st), 1u);
+    EXPECT_EQ(st.tasks_executed, 20001u);
+    EXPECT_EQ(st.leaves, 1u);
+    // Every step is a 1-task (incomplete) step at Q=8.
+    EXPECT_EQ(st.steps_total, 20001u);
+    EXPECT_EQ(st.steps_complete, 0u);
+  }
+}
+
+TEST(EdgeCases, ManyChainRootsRecoverDensity) {
+  // 64 independent chains: a single chain has no parallelism, but the
+  // strip-mined root block keeps 64 lanes alive all the way down — blocked
+  // execution turns a pathological shape into a dense one (the §5.3 story).
+  ChainProgram prog;
+  std::vector<ChainProgram::Task> roots(64, ChainProgram::Task{500});
+  core::ExecStats st;
+  const auto th = Thresholds::for_block_size(8, 64, 8);
+  EXPECT_EQ(
+      core::run_seq<core::SoaExec<ChainProgram>>(prog, roots, SeqPolicy::Restart, th, &st),
+      64u);
+  EXPECT_GT(st.simd_utilization(), 0.99);
+}
+
+}  // namespace

@@ -1,0 +1,231 @@
+// Tests for the lockstep (data-parallel-only) traversal baseline: exact
+// agreement with the recursive formulations where the model guarantees it
+// (point-correlation counts, k-NN result lists, Barnes-Hut interaction
+// fingerprints), force agreement within reassociation tolerance, engine
+// statistics, and the divergence behaviour the paper's schedulers remove.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/barneshut.hpp"
+#include "apps/knn.hpp"
+#include "apps/pointcorr.hpp"
+#include "lockstep/lockstep.hpp"
+#include "lockstep/lockstep_barneshut.hpp"
+#include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "spatial/bodies.hpp"
+#include "spatial/kdtree.hpp"
+#include "spatial/octree.hpp"
+
+namespace {
+
+using namespace tb;
+using lockstep::LockstepStats;
+
+// ---- engine -------------------------------------------------------------------------
+
+TEST(LockstepEngine, VisitsEveryNodeOnceWithFullMask) {
+  // A 3-level perfect binary tree, encoded inline; visitor never prunes.
+  // Nodes 0..6; children of v are 2v+1, 2v+2 for v < 3.
+  std::vector<std::int32_t> visited;
+  lockstep::traverse<4>(
+      0, 0xF,
+      [](std::int32_t node, std::int32_t* out) {
+        if (node >= 3) return 0;
+        out[0] = 2 * node + 1;
+        out[1] = 2 * node + 2;
+        return 2;
+      },
+      [&](std::int32_t node, std::uint32_t mask) -> std::uint32_t {
+        visited.push_back(node);
+        EXPECT_EQ(mask, 0xFu);
+        return mask;
+      });
+  EXPECT_EQ(visited.size(), 7u);
+  // Depth-first, left child first.
+  EXPECT_EQ(visited[0], 0);
+  EXPECT_EQ(visited[1], 1);
+  EXPECT_EQ(visited[2], 3);
+}
+
+TEST(LockstepEngine, ZeroMaskPrunesSubtree) {
+  std::vector<std::int32_t> visited;
+  lockstep::traverse<4>(
+      0, 0xF,
+      [](std::int32_t node, std::int32_t* out) {
+        if (node >= 3) return 0;
+        out[0] = 2 * node + 1;
+        out[1] = 2 * node + 2;
+        return 2;
+      },
+      [&](std::int32_t node, std::uint32_t mask) -> std::uint32_t {
+        visited.push_back(node);
+        return node == 1 ? 0u : mask;  // kill the left subtree below node 1
+      });
+  // Node 1's children (3, 4) are never visited: 0,1,2,5,6.
+  EXPECT_EQ(visited.size(), 5u);
+}
+
+TEST(LockstepEngine, StatsCountLaneOccupancy) {
+  LockstepStats st;
+  lockstep::traverse<4>(
+      0, 0x3,  // only 2 of 4 lanes live
+      [](std::int32_t, std::int32_t*) { return 0; },
+      [&](std::int32_t, std::uint32_t mask) -> std::uint32_t { return mask; }, &st);
+  EXPECT_EQ(st.node_visits, 1u);
+  EXPECT_EQ(st.lane_visits, 4u);
+  EXPECT_EQ(st.active_lane_visits, 2u);
+  EXPECT_DOUBLE_EQ(st.occupancy(), 0.5);
+}
+
+TEST(LockstepEngine, PayloadThreadsDownTheTraversal) {
+  // Chain 0 -> 1 -> 2; payload doubles per level.
+  std::vector<int> payloads;
+  lockstep::traverse<4, int>(
+      0, 0xF, 1,
+      [](std::int32_t node, std::int32_t* out) {
+        if (node >= 2) return 0;
+        out[0] = node + 1;
+        return 1;
+      },
+      [&](std::int32_t, std::uint32_t mask, int payload) {
+        payloads.push_back(payload);
+        return std::pair{mask, payload * 2};
+      });
+  EXPECT_EQ(payloads, (std::vector<int>{1, 2, 4}));
+}
+
+// ---- point correlation ----------------------------------------------------------------
+
+class LockstepPointCorr : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LockstepPointCorr, CountMatchesRecursiveTraversal) {
+  const std::size_t n = GetParam();
+  const auto pts = spatial::Bodies::uniform_cube(n, /*seed=*/11);
+  const auto tree = spatial::KdTree::build(pts, 16);
+  const apps::PointCorrProgram prog{&pts, &tree, 0.03f};
+  LockstepStats st;
+  EXPECT_EQ(lockstep::lockstep_pointcorr(prog, &st), apps::pointcorr_sequential(prog));
+  EXPECT_GT(st.node_visits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LockstepPointCorr,
+                         ::testing::Values(1u, 7u, 64u, 500u, 3000u),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(LockstepPointCorrDetail, DivergenceShowsUpInOccupancy) {
+  // Uniform points with a small radius: lanes prune different subtrees, so
+  // occupancy sits strictly between the degenerate extremes.
+  const auto pts = spatial::Bodies::uniform_cube(4000, 5);
+  const auto tree = spatial::KdTree::build(pts, 16);
+  const apps::PointCorrProgram prog{&pts, &tree, 0.01f};
+  LockstepStats st;
+  (void)lockstep::lockstep_pointcorr(prog, &st);
+  EXPECT_GT(st.occupancy(), 0.05);
+  EXPECT_LT(st.occupancy(), 0.95);
+}
+
+// ---- knn ----------------------------------------------------------------------------
+
+class LockstepKnn : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockstepKnn, NeighborListsMatchRecursiveTraversal) {
+  const int k = GetParam();
+  const auto pts = spatial::Bodies::uniform_cube(1500, 23);
+  const auto tree = spatial::KdTree::build(pts, 16);
+
+  apps::KnnState seq_state(pts.size(), k);
+  apps::KnnProgram seq_prog{&pts, &tree, &seq_state};
+  apps::knn_sequential(seq_prog);
+
+  apps::KnnState ls_state(pts.size(), k);
+  apps::KnnProgram ls_prog{&pts, &tree, &ls_state};
+  lockstep::lockstep_knn(ls_prog);
+
+  for (std::int32_t q = 0; q < static_cast<std::int32_t>(pts.size()); ++q) {
+    EXPECT_EQ(ls_state.distances(q), seq_state.distances(q)) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LockstepKnn, ::testing::Values(1, 4, 8),
+                         [](const auto& info) { return "k" + std::to_string(info.param); });
+
+TEST(LockstepKnnDetail, MatchesBruteForce) {
+  const auto pts = spatial::Bodies::uniform_cube(400, 31);
+  const auto tree = spatial::KdTree::build(pts, 8);
+  apps::KnnState state(pts.size(), 4);
+  apps::KnnProgram prog{&pts, &tree, &state};
+  lockstep::lockstep_knn(prog);
+  for (const std::int32_t q : {0, 57, 233, 399}) {
+    const auto expect = apps::knn_bruteforce(pts, q, 4);
+    const auto got = state.distances(q);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i], expect[i]) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+// ---- barnes-hut -----------------------------------------------------------------------
+
+TEST(LockstepBarnesHut, InteractionFingerprintMatchesRecursive) {
+  const auto bodies = spatial::Bodies::plummer(3000, 17);
+  const auto tree = spatial::Octree::build(bodies, 8);
+  const float theta = 0.5f;
+
+  std::vector<float> ax(bodies.size(), 0), ay(bodies.size(), 0), az(bodies.size(), 0);
+  apps::BarnesHutProgram prog{&bodies, &tree, ax.data(), ay.data(), az.data()};
+  const std::uint64_t seq_interactions = apps::barneshut_sequential(prog, theta);
+
+  std::vector<float> lx(bodies.size(), 0), ly(bodies.size(), 0), lz(bodies.size(), 0);
+  apps::BarnesHutProgram ls_prog{&bodies, &tree, lx.data(), ly.data(), lz.data()};
+  LockstepStats st;
+  const std::uint64_t ls_interactions = lockstep::lockstep_barneshut(ls_prog, theta, &st);
+
+  EXPECT_EQ(ls_interactions, seq_interactions);
+  EXPECT_GT(st.node_visits, 0u);
+
+  // Forces agree to reassociation tolerance.
+  double max_rel = 0;
+  for (std::size_t b = 0; b < bodies.size(); ++b) {
+    const double mag = std::sqrt(static_cast<double>(ax[b]) * ax[b] +
+                                 static_cast<double>(ay[b]) * ay[b] +
+                                 static_cast<double>(az[b]) * az[b]);
+    const double dx = static_cast<double>(lx[b]) - ax[b];
+    const double dy = static_cast<double>(ly[b]) - ay[b];
+    const double dz = static_cast<double>(lz[b]) - az[b];
+    const double diff = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (mag > 1e-6) max_rel = std::max(max_rel, diff / mag);
+  }
+  EXPECT_LT(max_rel, 1e-3);
+}
+
+TEST(LockstepBarnesHut, TighterThetaMeansMoreInteractions) {
+  const auto bodies = spatial::Bodies::plummer(1200, 3);
+  const auto tree = spatial::Octree::build(bodies, 8);
+  std::vector<float> ax(bodies.size(), 0), ay(bodies.size(), 0), az(bodies.size(), 0);
+  apps::BarnesHutProgram prog{&bodies, &tree, ax.data(), ay.data(), az.data()};
+  const auto loose = lockstep::lockstep_barneshut(prog, 0.8f);
+  const auto tight = lockstep::lockstep_barneshut(prog, 0.3f);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(LockstepBarnesHut, SingleStrapOfBodies) {
+  // Fewer bodies than the SIMD width: exercises the partial-lane path.
+  const auto bodies = spatial::Bodies::plummer(3, 9);
+  const auto tree = spatial::Octree::build(bodies, 4);
+  std::vector<float> ax(3, 0), ay(3, 0), az(3, 0);
+  apps::BarnesHutProgram prog{&bodies, &tree, ax.data(), ay.data(), az.data()};
+  const std::uint64_t seq = apps::barneshut_sequential(prog, 0.5f);
+  std::fill(ax.begin(), ax.end(), 0.0f);
+  std::fill(ay.begin(), ay.end(), 0.0f);
+  std::fill(az.begin(), az.end(), 0.0f);
+  EXPECT_EQ(lockstep::lockstep_barneshut(prog, 0.5f), seq);
+}
+
+}  // namespace

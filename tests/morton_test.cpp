@@ -1,0 +1,106 @@
+// Tests for Morton (Z-order) sorting: bit interleaving, quantization,
+// permutation validity, the locality improvement it exists to deliver, and
+// result preservation when traversal kernels run on sorted inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "apps/pointcorr.hpp"
+#include "spatial/bodies.hpp"
+#include "spatial/kdtree.hpp"
+#include "spatial/morton.hpp"
+
+namespace {
+
+using namespace tb;
+using spatial::Bodies;
+
+TEST(Morton, SpreadPlacesBitsThreeApart) {
+  EXPECT_EQ(spatial::morton_spread10(0b1u), 0b1u);
+  EXPECT_EQ(spatial::morton_spread10(0b10u), 0b1000u);
+  EXPECT_EQ(spatial::morton_spread10(0b11u), 0b1001u);
+  EXPECT_EQ(spatial::morton_spread10(0x3ffu), 0x09249249u);
+  // Bits above the low 10 are ignored.
+  EXPECT_EQ(spatial::morton_spread10(0xfc00u), 0u);
+}
+
+TEST(Morton, CodeInterleavesAxes) {
+  // gx=1, gy=0, gz=0 -> bit 0; gy=1 -> bit 1; gz=1 -> bit 2.
+  EXPECT_EQ(spatial::morton3(1, 0, 0), 0b001u);
+  EXPECT_EQ(spatial::morton3(0, 1, 0), 0b010u);
+  EXPECT_EQ(spatial::morton3(0, 0, 1), 0b100u);
+  EXPECT_EQ(spatial::morton3(1, 1, 1), 0b111u);
+  // Code ordering follows the grid along each axis.
+  EXPECT_LT(spatial::morton3(0, 0, 0), spatial::morton3(1023, 1023, 1023));
+}
+
+TEST(Morton, QuantizeClampsAndScales) {
+  EXPECT_EQ(spatial::morton_quantize(0.0f, 0.0f, 1.0f), 0u);
+  EXPECT_EQ(spatial::morton_quantize(1.0f, 0.0f, 1.0f), 1023u);
+  EXPECT_EQ(spatial::morton_quantize(-5.0f, 0.0f, 1.0f), 0u);
+  EXPECT_EQ(spatial::morton_quantize(5.0f, 0.0f, 1.0f), 1023u);
+  EXPECT_EQ(spatial::morton_quantize(0.5f, 0.0f, 1.0f), 512u);
+  // Degenerate range: everything lands in cell 0.
+  EXPECT_EQ(spatial::morton_quantize(3.0f, 2.0f, 2.0f), 0u);
+}
+
+TEST(Morton, OrderIsAPermutation) {
+  const auto b = Bodies::plummer(997, 5);
+  const auto perm = spatial::morton_order(b);
+  ASSERT_EQ(perm.size(), b.size());
+  std::vector<std::int32_t> sorted(perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Morton, SortPreservesTheMultiset) {
+  const auto b = Bodies::uniform_cube(500, 9);
+  const auto s = spatial::morton_sort(b);
+  ASSERT_EQ(s.size(), b.size());
+  double sum_b = 0, sum_s = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    sum_b += static_cast<double>(b.x[i]) + b.y[i] + b.z[i];
+    sum_s += static_cast<double>(s.x[i]) + s.y[i] + s.z[i];
+  }
+  EXPECT_NEAR(sum_b, sum_s, 1e-6);
+}
+
+TEST(Morton, SortImprovesNeighborLocality) {
+  // The module's reason to exist: consecutive bodies end up spatially close.
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto random_order = Bodies::uniform_cube(4000, seed);
+    const auto sorted = spatial::morton_sort(random_order);
+    const double before = spatial::mean_neighbor_distance(random_order);
+    const double after = spatial::mean_neighbor_distance(sorted);
+    EXPECT_LT(after, before * 0.25) << "seed " << seed;
+  }
+}
+
+TEST(Morton, SortedInputPreservesKernelResults) {
+  // Point correlation's total count is order-independent: running on the
+  // sorted set gives the same answer (each point still queries all others).
+  const auto pts = Bodies::uniform_cube(1200, 3);
+  const auto sorted = spatial::morton_sort(pts);
+  const auto tree = spatial::KdTree::build(pts, 16);
+  const auto tree_sorted = spatial::KdTree::build(sorted, 16);
+  const apps::PointCorrProgram prog{&pts, &tree, 0.03f};
+  const apps::PointCorrProgram prog_sorted{&sorted, &tree_sorted, 0.03f};
+  EXPECT_EQ(apps::pointcorr_sequential(prog_sorted), apps::pointcorr_sequential(prog));
+}
+
+TEST(Morton, EmptyAndSingletonInputs) {
+  Bodies empty;
+  EXPECT_TRUE(spatial::morton_order(empty).empty());
+  EXPECT_EQ(spatial::mean_neighbor_distance(empty), 0.0);
+  const auto one = Bodies::uniform_cube(1, 2);
+  const auto perm = spatial::morton_order(one);
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_EQ(perm[0], 0);
+}
+
+}  // namespace

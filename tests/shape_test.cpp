@@ -1,0 +1,193 @@
+// Paper-shape regression tests.
+//
+// The evaluation section's qualitative claims, pinned as properties of the
+// *real* schedulers (not the simulator), so a refactor that silently breaks
+// the headline behaviour fails CI:
+//
+//   * Fig 4: restart's SIMD utilization matches or beats re-expansion at
+//     small block sizes, on every benchmark family;
+//   * Fig 4: utilization grows toward ~100% as the block size grows;
+//   * §4.2/Theorem 3: sequential restart's step count stays within a small
+//     constant of the n/Q + h optimum even at block size Q, while basic
+//     needs large blocks;
+//   * §3.5: peak space grows with t_dfe (the space/parallelism trade).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/fib.hpp"
+#include "apps/knapsack.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/parentheses.hpp"
+#include "core/driver.hpp"
+
+namespace {
+
+using namespace tb;
+using core::ExecStats;
+using core::SeqPolicy;
+using core::Thresholds;
+
+// Run one kernel at one block size under one policy; return the stats.
+// Recovery thresholds are pinned to the block size (t_bfe = t_restart =
+// t_dfe — the k1 ≈ k, k2 ≈ k setting §4 recommends and Fig 4 sweeps), so
+// both policies hunt for density equally aggressively.
+template <class Exec>
+ExecStats run_stats(const typename Exec::Program& p,
+                    const std::vector<typename Exec::Program::Task>& roots, SeqPolicy policy,
+                    std::size_t block) {
+  ExecStats st;
+  Thresholds th = Thresholds::for_block_size(/*q=*/8, block, /*restart=*/block);
+  (void)core::run_seq<Exec>(p, roots, policy, th, &st);
+  return st;
+}
+
+struct Kernel {
+  std::string name;
+  // Type-erased runner: policy × block -> stats.
+  std::function<ExecStats(SeqPolicy, std::size_t)> run;
+};
+
+std::vector<Kernel> make_kernels() {
+  std::vector<Kernel> ks;
+  ks.push_back({"fib", [](SeqPolicy pol, std::size_t blk) {
+                  static const apps::FibProgram prog;
+                  static const std::vector roots{apps::FibProgram::root(24)};
+                  return run_stats<core::SoaExec<apps::FibProgram>>(prog, roots, pol, blk);
+                }});
+  ks.push_back({"parentheses", [](SeqPolicy pol, std::size_t blk) {
+                  static const apps::ParenthesesProgram prog;
+                  static const std::vector roots{apps::ParenthesesProgram::root(11)};
+                  return run_stats<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol,
+                                                                            blk);
+                }});
+  ks.push_back({"knapsack", [](SeqPolicy pol, std::size_t blk) {
+                  static const auto inst = apps::KnapsackInstance::random(20, 3);
+                  static const apps::KnapsackProgram prog{&inst};
+                  static const std::vector roots{prog.root()};
+                  return run_stats<core::SoaExec<apps::KnapsackProgram>>(prog, roots, pol, blk);
+                }});
+  ks.push_back({"nqueens", [](SeqPolicy pol, std::size_t blk) {
+                  static const apps::NQueensProgram prog{10};
+                  static const std::vector roots{apps::NQueensProgram::root()};
+                  return run_stats<core::SoaExec<apps::NQueensProgram>>(prog, roots, pol, blk);
+                }});
+  return ks;
+}
+
+class Fig4Shape : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Fig4Shape, RestartUtilizationMatchesOrBeatsReexpAtSmallBlocks) {
+  const std::size_t block = GetParam();
+  for (const Kernel& k : make_kernels()) {
+    const double u_reexp = k.run(SeqPolicy::Reexp, block).simd_utilization();
+    const double u_restart = k.run(SeqPolicy::Restart, block).simd_utilization();
+    // Paper: "at each block size restart matches or exceeds the SIMD
+    // utilization achieved by reexp" — allow 2% slack for the large-block
+    // tail where both are near-saturated.
+    EXPECT_GE(u_restart, u_reexp - 0.02)
+        << k.name << " at block " << block << ": restart " << u_restart << " vs reexp "
+        << u_reexp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBlocks, Fig4Shape, ::testing::Values(8u, 16u, 32u, 128u),
+                         [](const auto& info) {
+                           return "block" + std::to_string(info.param);
+                         });
+
+TEST(Fig4Shape, UtilizationGrowsWithBlockSize) {
+  for (const Kernel& k : make_kernels()) {
+    for (const auto policy : {SeqPolicy::Reexp, SeqPolicy::Restart}) {
+      const double u_small = k.run(policy, 4).simd_utilization();
+      const double u_large = k.run(policy, 4096).simd_utilization();
+      EXPECT_GT(u_large, u_small) << k.name << " " << core::to_string(policy);
+      EXPECT_GT(u_large, 0.85) << k.name << " " << core::to_string(policy);
+    }
+  }
+}
+
+TEST(Fig4Shape, RestartReachesHighUtilizationAtSmallerBlocks) {
+  // The paper's headline (Fig 4b/4c): restart achieves >90% utilization at
+  // block sizes an order of magnitude smaller than reexp needs.  Aggregate
+  // form: at block 32, restart's mean utilization across kernels beats
+  // reexp's by a clear margin on the search kernels.
+  double gain = 0;
+  int n = 0;
+  for (const Kernel& k : make_kernels()) {
+    const double u_reexp = k.run(SeqPolicy::Reexp, 32).simd_utilization();
+    const double u_restart = k.run(SeqPolicy::Restart, 32).simd_utilization();
+    gain += u_restart - u_reexp;
+    ++n;
+  }
+  EXPECT_GT(gain / n, 0.02);
+}
+
+TEST(Theorem3Shape, RestartStepsNearOptimalAtBlockSizeQ) {
+  // Theorem 3: restart's running time is Θ(n/Q + h) *independent of k* — so
+  // even at t_dfe = Q the step count stays within a small constant of the
+  // lower bound, where basic degenerates toward one-task steps.
+  const apps::ParenthesesProgram prog;
+  const std::vector roots{apps::ParenthesesProgram::root(11)};
+  const auto info = core::count_tree(prog, roots);
+  const double lower =
+      static_cast<double>(info.tasks) / 8.0 + static_cast<double>(info.levels);
+
+  ExecStats restart, basic;
+  const Thresholds th = Thresholds::for_block_size(8, 8, 8);
+  (void)core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots,
+                                                               SeqPolicy::Restart, th, &restart);
+  (void)core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, SeqPolicy::Basic,
+                                                               th, &basic);
+  EXPECT_LT(static_cast<double>(restart.steps_total), 4.0 * lower);
+  // Basic at tiny blocks executes mostly-partial steps: strictly worse.
+  EXPECT_GT(basic.steps_total, restart.steps_total);
+}
+
+TEST(SpaceShape, PeakSpaceGrowsWithBlockSize) {
+  const apps::FibProgram prog;
+  const std::vector roots{apps::FibProgram::root(24)};
+  std::uint64_t prev = 0;
+  for (const std::size_t block : {64u, 1024u, 16384u}) {
+    ExecStats st;
+    const Thresholds th = Thresholds::for_block_size(8, block);
+    (void)core::run_seq<core::SoaExec<apps::FibProgram>>(prog, roots, SeqPolicy::Restart, th,
+                                                         &st);
+    EXPECT_GT(st.peak_space_tasks, prev);
+    prev = st.peak_space_tasks;
+  }
+}
+
+TEST(SpaceShape, RestartNoWorseSpaceThanReexpAtEqualUtilization) {
+  // §4.4: "since restart can provide linear speedup at smaller block sizes,
+  // it may use less space for the same performance."  Concrete form: find
+  // the smallest block size at which each policy reaches 90% utilization;
+  // restart's is no larger, and its peak space there is no larger either.
+  const apps::ParenthesesProgram prog;
+  const std::vector roots{apps::ParenthesesProgram::root(11)};
+  auto first_block_reaching = [&](SeqPolicy pol, double target, std::uint64_t& space) {
+    for (std::size_t block = 8; block <= (1u << 15); block *= 2) {
+      ExecStats st;
+      const Thresholds th = Thresholds::for_block_size(8, block, block);
+      (void)core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th, &st);
+      if (st.simd_utilization() >= target) {
+        space = st.peak_space_tasks;
+        return block;
+      }
+    }
+    space = ~0ull;
+    return std::size_t{0};
+  };
+  std::uint64_t space_reexp = 0, space_restart = 0;
+  const std::size_t blk_reexp = first_block_reaching(SeqPolicy::Reexp, 0.9, space_reexp);
+  const std::size_t blk_restart = first_block_reaching(SeqPolicy::Restart, 0.9, space_restart);
+  ASSERT_GT(blk_reexp, 0u);
+  ASSERT_GT(blk_restart, 0u);
+  EXPECT_LE(blk_restart, blk_reexp);
+  EXPECT_LE(space_restart, space_reexp);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Theory validation (§4): the real schedulers and the discrete multicore
+// simulator are measured against the closed-form bounds of Theorems 1–4
+// across the tree families the analysis distinguishes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "sim/bounds.hpp"
+#include "sim/comp_tree.hpp"
+#include "sim/par_sim.hpp"
+#include "sim/tree_program.hpp"
+
+namespace {
+
+using namespace tb;
+using sim::CompTree;
+using sim::CompTreeProgram;
+using sim::SimConfig;
+using sim::SimPolicy;
+
+// ---- generators ---------------------------------------------------------------
+
+TEST(CompTree, PerfectBinaryShape) {
+  const auto t = CompTree::perfect_binary(5);
+  EXPECT_EQ(t.num_nodes(), 31u);
+  EXPECT_EQ(t.height, 5);
+  EXPECT_EQ(t.num_leaves(), 16u);
+}
+
+TEST(CompTree, ChainShape) {
+  const auto t = CompTree::chain(100);
+  EXPECT_EQ(t.num_nodes(), 100u);
+  EXPECT_EQ(t.height, 100);
+  EXPECT_EQ(t.num_leaves(), 1u);
+}
+
+TEST(CompTree, CaterpillarShape) {
+  const auto t = CompTree::caterpillar(50);
+  EXPECT_EQ(t.num_nodes(), 99u);  // 2*spine - 1
+  EXPECT_EQ(t.height, 50);
+  // Every internal node has degree exactly 2.
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const int d = t.degree(static_cast<std::int32_t>(v));
+    EXPECT_TRUE(d == 0 || d == 2);
+  }
+}
+
+TEST(CompTree, FibTreeMatchesCallTreeSize) {
+  const auto t = CompTree::fib_tree(15);
+  // Nodes in the fib call tree: 2*fib(n+1) - 1, fib(16) = 987.
+  EXPECT_EQ(t.num_nodes(), 2u * 987u - 1u);
+}
+
+TEST(CompTree, RandomBinaryRespectsTarget) {
+  const auto t = CompTree::random_binary(5000, 0.9, 3);
+  EXPECT_LE(t.num_nodes(), 5000u);
+  EXPECT_GT(t.num_nodes(), 100u);
+  // CSR integrity: every non-root node appears exactly once as a child.
+  std::vector<int> seen(t.num_nodes(), 0);
+  for (const auto c : t.child) seen[static_cast<std::size_t>(c)] += 1;
+  EXPECT_EQ(seen[0], 0);
+  for (std::size_t v = 1; v < t.num_nodes(); ++v) EXPECT_EQ(seen[v], 1);
+}
+
+TEST(CompTree, DepthsAreConsistent) {
+  const auto t = CompTree::random_binary(2000, 0.8, 7);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    for (std::int32_t i = t.first[v]; i < t.first[v + 1]; ++i) {
+      EXPECT_EQ(t.depth[static_cast<std::size_t>(t.child[static_cast<std::size_t>(i)])],
+                t.depth[v] + 1);
+    }
+  }
+}
+
+// ---- Theorem 3 on the real scheduler --------------------------------------------
+
+struct TreeCase {
+  const char* name;
+  CompTree tree;
+};
+
+std::vector<TreeCase> theorem_trees() {
+  std::vector<TreeCase> cases;
+  cases.push_back({"perfect", CompTree::perfect_binary(14)});
+  cases.push_back({"caterpillar", CompTree::caterpillar(4000)});
+  cases.push_back({"random_dense", CompTree::random_binary(30000, 0.95, 11)});
+  cases.push_back({"random_sparse", CompTree::random_binary(30000, 0.7, 12)});
+  cases.push_back({"fib", CompTree::fib_tree(18)});
+  return cases;
+}
+
+TEST(Theorem3, RestartStepsWithinConstantOfOptimal) {
+  // Θ(n/Q + h) with the restart policy, for every tree family and several
+  // block sizes — including tiny blocks, where basic/reexp degrade but
+  // restart must not.
+  for (const auto& tc : theorem_trees()) {
+    for (const std::size_t block : {8u, 32u, 256u, 4096u}) {
+      SCOPED_TRACE(std::string(tc.name) + " block=" + std::to_string(block));
+      CompTreeProgram prog{&tc.tree};
+      const auto roots = std::vector{CompTreeProgram::root()};
+      core::ExecStats st;
+      const auto th = core::Thresholds::for_block_size(8, block, 8);
+      (void)core::run_seq<core::SoaExec<CompTreeProgram>>(prog, roots,
+                                                          core::SeqPolicy::Restart, th, &st);
+      EXPECT_EQ(st.tasks_executed, tc.tree.num_nodes());
+      const double bound = sim::theorem3_bound(tc.tree.num_nodes(), tc.tree.height, 8);
+      EXPECT_LE(static_cast<double>(st.steps_total), 4.0 * bound)
+          << "steps=" << st.steps_total << " bound=" << bound;
+    }
+  }
+}
+
+TEST(Theorem3, PartialSuperstepsBoundedByHeight) {
+  // Lemma 1: at most h partial supersteps in a sequential restart run.
+  for (const auto& tc : theorem_trees()) {
+    SCOPED_TRACE(tc.name);
+    CompTreeProgram prog{&tc.tree};
+    const auto roots = std::vector{CompTreeProgram::root()};
+    core::ExecStats st;
+    const auto th = core::Thresholds::for_block_size(8, 128, 16);
+    (void)core::run_seq<core::SoaExec<CompTreeProgram>>(prog, roots, core::SeqPolicy::Restart,
+                                                        th, &st);
+    // Merged-at-same-level blocks can re-split across strip boundaries, so
+    // allow a small constant factor over the idealized h bound.
+    EXPECT_LE(st.partial_supersteps, 3u * static_cast<std::uint64_t>(tc.tree.height) + 8u);
+  }
+}
+
+TEST(Theorems, BasicSuffersOnHighEpsilonTreesRestartDoesNot) {
+  // The caterpillar has h ≈ n/2 (ε huge): Theorem 1 says the basic policy
+  // degenerates toward n steps, while restart stays near n/Q + h.
+  const auto tree = CompTree::caterpillar(4000);
+  CompTreeProgram prog{&tree};
+  const auto roots = std::vector{CompTreeProgram::root()};
+  const auto th = core::Thresholds::for_block_size(8, 64, 8);
+  core::ExecStats basic, restart;
+  (void)core::run_seq<core::SoaExec<CompTreeProgram>>(prog, roots, core::SeqPolicy::Basic, th,
+                                                      &basic);
+  (void)core::run_seq<core::SoaExec<CompTreeProgram>>(prog, roots, core::SeqPolicy::Restart, th,
+                                                      &restart);
+  // Restart needs no more steps than basic (up to slack), and on this tree
+  // basic is close to one node per step.
+  EXPECT_LE(restart.steps_total, basic.steps_total + 16);
+}
+
+TEST(Theorems, UtilizationOrderRestartGeBasic) {
+  for (const auto& tc : theorem_trees()) {
+    SCOPED_TRACE(tc.name);
+    CompTreeProgram prog{&tc.tree};
+    const auto roots = std::vector{CompTreeProgram::root()};
+    const auto th = core::Thresholds::for_block_size(8, 32, 16);
+    core::ExecStats b, r;
+    (void)core::run_seq<core::SoaExec<CompTreeProgram>>(prog, roots, core::SeqPolicy::Basic, th,
+                                                        &b);
+    (void)core::run_seq<core::SoaExec<CompTreeProgram>>(prog, roots, core::SeqPolicy::Restart,
+                                                        th, &r);
+    EXPECT_GE(r.simd_utilization() + 0.02, b.simd_utilization());
+  }
+}
+
+// ---- discrete multicore simulator ------------------------------------------------
+
+TEST(ParSim, ExecutesEveryTaskOnce) {
+  const auto tree = CompTree::random_binary(20000, 0.9, 5);
+  for (const auto pol : {SimPolicy::ScalarWS, SimPolicy::Reexp, SimPolicy::Restart}) {
+    for (const int p : {1, 2, 4, 8}) {
+      SCOPED_TRACE(std::string(sim::to_string(pol)) + " P=" + std::to_string(p));
+      SimConfig cfg;
+      cfg.p = p;
+      cfg.q = 8;
+      cfg.policy = pol;
+      const auto res = sim::simulate(tree, cfg);
+      EXPECT_EQ(res.tasks, tree.num_nodes());
+      EXPECT_GT(res.makespan, 0u);
+    }
+  }
+}
+
+TEST(ParSim, ScalarSingleCoreTakesNSteps) {
+  const auto tree = CompTree::perfect_binary(12);
+  SimConfig cfg;
+  cfg.p = 1;
+  cfg.policy = SimPolicy::ScalarWS;
+  const auto res = sim::simulate(tree, cfg);
+  // One unit-time task per step, no steals needed.
+  EXPECT_EQ(res.makespan, tree.num_nodes());
+}
+
+TEST(ParSim, Theorem4MakespanBound) {
+  const auto tree = CompTree::random_binary(60000, 0.92, 9);
+  const std::size_t block = 128;
+  const double k = static_cast<double>(block) / 8.0;
+  for (const int p : {1, 2, 4, 8, 16}) {
+    SCOPED_TRACE("P=" + std::to_string(p));
+    SimConfig cfg;
+    cfg.p = p;
+    cfg.q = 8;
+    cfg.t_dfe = block;
+    cfg.t_bfe = block;
+    cfg.t_restart = 16;
+    cfg.policy = SimPolicy::Restart;
+    const auto res = sim::simulate(tree, cfg);
+    const double bound = sim::theorem4_bound(tree.num_nodes(), tree.height, 8, p, k);
+    EXPECT_LE(static_cast<double>(res.makespan), 8.0 * bound)
+        << "makespan=" << res.makespan << " bound=" << bound;
+  }
+}
+
+TEST(ParSim, RestartSpeedupScalesOnWideTrees) {
+  const auto tree = CompTree::perfect_binary(17);  // wide, plenty parallel
+  SimConfig base;
+  base.q = 8;
+  base.t_dfe = 128;
+  base.t_bfe = 128;
+  base.t_restart = 16;
+  base.policy = SimPolicy::Restart;
+  SimConfig c1 = base;
+  c1.p = 1;
+  const auto t1 = sim::simulate(tree, c1).makespan;
+  SimConfig c8 = base;
+  c8.p = 8;
+  const auto t8 = sim::simulate(tree, c8).makespan;
+  EXPECT_LT(static_cast<double>(t8), static_cast<double>(t1) / 3.0)
+      << "t1=" << t1 << " t8=" << t8;
+}
+
+TEST(ParSim, ChainHasNoParallelism) {
+  const auto tree = CompTree::chain(2000);
+  for (const auto pol : {SimPolicy::ScalarWS, SimPolicy::Restart}) {
+    SimConfig c1, c4;
+    c1.policy = c4.policy = pol;
+    c1.p = 1;
+    c4.p = 4;
+    const auto t1 = sim::simulate(tree, c1).makespan;
+    const auto t4 = sim::simulate(tree, c4).makespan;
+    // Makespan is h regardless of P (lower bound T ≥ h).
+    EXPECT_GE(t4 + 1, static_cast<std::uint64_t>(tree.height));
+    EXPECT_NEAR(static_cast<double>(t4), static_cast<double>(t1),
+                0.1 * static_cast<double>(t1));
+  }
+}
+
+TEST(ParSim, DeterministicForFixedSeed) {
+  const auto tree = CompTree::random_binary(10000, 0.9, 42);
+  SimConfig cfg;
+  cfg.p = 4;
+  cfg.policy = SimPolicy::Restart;
+  cfg.seed = 77;
+  const auto a = sim::simulate(tree, cfg);
+  const auto b = sim::simulate(tree, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+}
+
+TEST(Bounds, ClosedFormsBehave) {
+  // ε = 0 for perfect trees: theorem 1 and 2 collapse toward n/Q-ish terms.
+  EXPECT_NEAR(sim::epsilon_of(1 << 14, 14), 0.0, 0.01);
+  EXPECT_GT(sim::epsilon_of(99, 50), 40.0);
+  // Theorem 3 is monotone in n and h.
+  EXPECT_LT(sim::theorem3_bound(1000, 10, 8), sim::theorem3_bound(2000, 10, 8));
+  EXPECT_LT(sim::theorem3_bound(1000, 10, 8), sim::theorem3_bound(1000, 20, 8));
+  // Theorem 4 improves with P.
+  EXPECT_GT(sim::theorem4_bound(100000, 20, 8, 1, 16.0),
+            sim::theorem4_bound(100000, 20, 8, 8, 16.0));
+  // All bounds dominate the lower bound.
+  EXPECT_GE(sim::theorem3_bound(5000, 30, 8), sim::optimal_lower_bound(5000, 30, 8, 1));
+}
+
+}  // namespace

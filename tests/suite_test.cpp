@@ -1,0 +1,111 @@
+// Integration tests over the benchmark-suite wrappers (bench/suite.hpp) —
+// the exact code paths the table/figure harnesses run.  Every benchmark at
+// "test" scale must produce the sequential oracle's digest through every
+// scheduler configuration: policies × layers × sequential/pool/ideal, plus
+// census consistency and threshold defaults.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/suite.hpp"
+
+namespace {
+
+using tbench::BlockedConfig;
+using tbench::IBench;
+using tbench::Layer;
+
+std::vector<std::unique_ptr<IBench>>& suite() {
+  static auto s = tbench::make_suite("test");
+  return s;
+}
+
+// Index-based parameterization keeps gtest names stable.
+class SuiteDigest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteDigest, AllSequentialConfigsMatchOracle) {
+  IBench& b = *suite()[static_cast<std::size_t>(GetParam())];
+  const std::string expected = b.run_sequential();
+  for (const auto policy : {tb::core::SeqPolicy::Basic, tb::core::SeqPolicy::Reexp,
+                            tb::core::SeqPolicy::Restart}) {
+    for (const auto layer : {Layer::Aos, Layer::Soa, Layer::Simd}) {
+      BlockedConfig cfg;
+      cfg.policy = policy;
+      cfg.layer = layer;
+      cfg.th = b.thresholds();
+      EXPECT_EQ(b.run_blocked(cfg), expected)
+          << tb::core::to_string(policy) << "/" << tbench::to_string(layer);
+    }
+  }
+}
+
+TEST_P(SuiteDigest, PoolAndIdealConfigsMatchOracle) {
+  IBench& b = *suite()[static_cast<std::size_t>(GetParam())];
+  const std::string expected = b.run_sequential();
+  tb::rt::ForkJoinPool pool(3);
+  for (const auto policy : {tb::core::SeqPolicy::Reexp, tb::core::SeqPolicy::Restart}) {
+    BlockedConfig cfg;
+    cfg.policy = policy;
+    cfg.layer = Layer::Simd;
+    cfg.pool = &pool;
+    cfg.th = b.thresholds();
+    EXPECT_EQ(b.run_blocked(cfg), expected) << "pool/" << tb::core::to_string(policy);
+  }
+  BlockedConfig ideal;
+  ideal.ideal_workers = 3;
+  ideal.layer = Layer::Simd;
+  ideal.th = b.thresholds();
+  EXPECT_EQ(b.run_blocked(ideal), expected) << "ideal";
+  EXPECT_EQ(b.run_cilk(pool), expected) << "cilk";
+}
+
+TEST_P(SuiteDigest, CensusAgreesWithScheduledStats) {
+  IBench& b = *suite()[static_cast<std::size_t>(GetParam())];
+  if (b.name() == "knn") {
+    // knn's traversal counts are schedule-dependent (shrinking bounds);
+    // its digest tests cover correctness instead.
+    GTEST_SKIP();
+  }
+  const auto info = b.census();
+  BlockedConfig cfg;
+  cfg.th = b.thresholds();
+  tb::core::ExecStats st;
+  (void)b.run_blocked(cfg, &st);
+  EXPECT_EQ(st.tasks_executed, info.tasks);
+  EXPECT_EQ(st.leaves, info.leaves);
+}
+
+TEST_P(SuiteDigest, DefaultsAreSane) {
+  IBench& b = *suite()[static_cast<std::size_t>(GetParam())];
+  EXPECT_GT(b.q(), 0);
+  EXPECT_GE(b.default_block(), static_cast<std::size_t>(b.q()));
+  EXPECT_LE(b.default_restart(), b.default_block());
+  EXPECT_FALSE(b.problem().empty());
+  const auto th = b.thresholds();
+  EXPECT_EQ(th.t_dfe, b.default_block());
+  EXPECT_EQ(th.t_restart, b.default_restart());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteDigest, ::testing::Range(0, 11),
+                         [](const auto& info) {
+                           return suite()[static_cast<std::size_t>(info.param)]->name();
+                         });
+
+TEST(SuiteFactory, ScalesProduceElevenBenchmarks) {
+  for (const char* scale : {"test", "default"}) {
+    const auto s = tbench::make_suite(scale);
+    EXPECT_EQ(s.size(), 11u) << scale;
+  }
+}
+
+TEST(SuiteFactory, SelectedFilterMatchesNamesExactly) {
+  EXPECT_TRUE(tbench::selected("", "fib"));
+  EXPECT_TRUE(tbench::selected("fib,uts", "uts"));
+  EXPECT_FALSE(tbench::selected("fib,uts", "ut"));
+  EXPECT_FALSE(tbench::selected("fib", "fibx"));
+}
+
+}  // namespace
