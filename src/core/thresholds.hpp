@@ -34,7 +34,8 @@ struct Thresholds {
 
   // Convenience: block size 2^log_bs with recovery thresholds pinned to the
   // block size (k1 ≈ k, the paper's recommended setting) and a restart
-  // threshold `rb` (defaults to block size / 16, at least Q).
+  // threshold `rb` (defaults to block size / 16, floored at 1 so degenerate
+  // block sizes below 16 stay legal).
   static Thresholds for_block_size(int q, std::size_t block, std::size_t restart = 0) {
     Thresholds t;
     t.q = q;

@@ -11,14 +11,13 @@
 #include "apps/nqueens.hpp"
 #include "apps/uts.hpp"
 #include "core/driver.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
 using namespace tb;
 using core::SeqPolicy;
 using core::Thresholds;
-
-constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
 
 // ---- nqueens -------------------------------------------------------------------
 
@@ -36,14 +35,7 @@ TEST_P(NQueensSchedTest, AllLayersAllPolicies) {
   apps::NQueensProgram prog{n};
   const auto roots = std::vector{apps::NQueensProgram::root()};
   const std::uint64_t expected = apps::nqueens_sequential(n, 0, 0, 0);
-  const Thresholds th{8, 128, 64, 16};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::NQueensProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::NQueensProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::NQueensProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, Thresholds{8, 128, 64, 16}, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Boards, NQueensSchedTest, ::testing::Values(5, 6, 7, 8, 9));
@@ -55,14 +47,9 @@ TEST(NQueens, CilkMatchesSequential) {
 }
 
 TEST(NQueens, ParallelSchedulersMatch) {
-  rt::ForkJoinPool pool(4);
   apps::NQueensProgram prog{9};
   const auto roots = std::vector{apps::NQueensProgram::root()};
-  const Thresholds th{8, 128, 64, 16};
-  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::NQueensProgram>>(pool, prog, roots, th),
-            352u);
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::NQueensProgram>>(pool, prog, roots, th),
-            352u);
+  tbtest::expect_par_matrix(prog, roots, Thresholds{8, 128, 64, 16}, std::uint64_t{352});
 }
 
 // ---- graphcol ------------------------------------------------------------------
@@ -94,16 +81,7 @@ TEST_P(GraphColSchedTest, AllLayersAllPolicies) {
   apps::GraphColProgram prog{&g};
   const auto roots = std::vector{apps::GraphColProgram::root()};
   const std::uint64_t expected = apps::graphcol_sequential(g, apps::GraphColProgram::root());
-  const Thresholds th{4, 256, 128, 32};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::GraphColProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::GraphColProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, Thresholds{4, 256, 128, 32}, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, GraphColSchedTest, ::testing::Values(8, 10, 11, 12));
@@ -136,9 +114,7 @@ TEST(GraphCol, CilkAndParallelMatch) {
   const std::uint64_t expected = apps::graphcol_sequential(g, apps::GraphColProgram::root());
   EXPECT_EQ(apps::graphcol_cilk(pool, g), expected);
   const auto roots = std::vector{apps::GraphColProgram::root()};
-  const Thresholds th{4, 128, 64, 16};
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::GraphColProgram>>(pool, prog, roots, th),
-            expected);
+  tbtest::expect_par_matrix(prog, roots, Thresholds{4, 128, 64, 16}, expected);
 }
 
 // ---- uts -----------------------------------------------------------------------
@@ -162,13 +138,7 @@ TEST_P(UtsSchedTest, AllLayersAllPolicies) {
   apps::UtsProgram prog(apps::UtsParams{32, 4, 0.21, GetParam()});
   const auto roots = prog.roots();
   const std::uint64_t expected = apps::uts_sequential_all(prog);
-  const Thresholds th{4, 128, 64, 16};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, Thresholds{4, 128, 64, 16}, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UtsSchedTest, ::testing::Values(1, 2, 3, 4, 99));
@@ -179,11 +149,7 @@ TEST(Uts, CilkAndParallelMatch) {
   const std::uint64_t expected = apps::uts_sequential_all(prog);
   EXPECT_EQ(apps::uts_cilk(pool, prog), expected);
   const auto roots = prog.roots();
-  const Thresholds th{4, 128, 64, 16};
-  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::UtsProgram>>(pool, prog, roots, th),
-            expected);
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::UtsProgram>>(pool, prog, roots, th),
-            expected);
+  tbtest::expect_par_matrix(prog, roots, Thresholds{4, 128, 64, 16}, expected);
 }
 
 // ---- minmax --------------------------------------------------------------------
@@ -211,14 +177,7 @@ TEST_P(MinmaxSchedTest, AllLayersAllPolicies) {
   apps::MinmaxProgram prog{GetParam()};
   const auto roots = std::vector{apps::MinmaxProgram::root()};
   const auto expected = apps::minmax_sequential(prog, apps::MinmaxProgram::root());
-  const Thresholds th{8, 256, 128, 32};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::MinmaxProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::MinmaxProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::MinmaxProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, Thresholds{8, 256, 128, 32}, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(PlyLimits, MinmaxSchedTest, ::testing::Values(3, 4, 5));
@@ -229,9 +188,7 @@ TEST(Minmax, CilkAndParallelMatch) {
   const auto expected = apps::minmax_sequential(prog, apps::MinmaxProgram::root());
   EXPECT_EQ(apps::minmax_cilk(pool, prog), expected);
   const auto roots = std::vector{apps::MinmaxProgram::root()};
-  const Thresholds th{8, 256, 128, 32};
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::MinmaxProgram>>(pool, prog, roots, th),
-            expected);
+  tbtest::expect_par_matrix(prog, roots, Thresholds{8, 256, 128, 32}, expected);
 }
 
 TEST(Minmax, TrueMinimaxValueOfEmpty4x4IsDraw) {

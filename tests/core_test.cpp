@@ -1,5 +1,5 @@
 // Integration tests for the task-block scheduling framework: every policy ×
-// every execution layer × several threshold settings must reproduce the
+// every execution layer × worker count × threshold preset must reproduce the
 // sequential-recursion oracle, and the recorded statistics must satisfy the
 // structural claims of §4.
 #include <gtest/gtest.h>
@@ -13,6 +13,7 @@
 #include "apps/knapsack.hpp"
 #include "apps/parentheses.hpp"
 #include "core/driver.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
@@ -21,98 +22,65 @@ using core::ExecStats;
 using core::SeqPolicy;
 using core::Thresholds;
 
-constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+// ---- scheduler matrix: result correctness --------------------------------------
+//
+// The full policy × {seq, par×workers} × threshold-preset cross product from
+// tests/support/harness.hpp, each cell run through all three data layouts.
 
-// ---- sequential schedulers: result correctness --------------------------------
+class SchedMatrix : public tbtest::SchedulerMatrixTest {};
 
-struct ThresholdCase {
-  int q;
-  std::size_t t_dfe;
-  std::size_t t_bfe;
-  std::size_t t_restart;
-};
-
-class SeqSchedulerTest : public ::testing::TestWithParam<ThresholdCase> {};
-
-TEST_P(SeqSchedulerTest, FibAllLayersAllPolicies) {
-  const auto tc = GetParam();
-  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+TEST_P(SchedMatrix, Fib) {
+  const auto& c = GetParam();
   apps::FibProgram prog;
   const auto roots = std::vector{apps::FibProgram::root(21)};
   const std::uint64_t expected = apps::fib_sequential(21);
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::FibProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::FibProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th), expected);
-  }
+  EXPECT_EQ(tbtest::run_cell<core::AosExec<apps::FibProgram>>(c, prog, roots), expected);
+  EXPECT_EQ(tbtest::run_cell<core::SoaExec<apps::FibProgram>>(c, prog, roots), expected);
+  EXPECT_EQ(tbtest::run_cell<core::SimdExec<apps::FibProgram>>(c, prog, roots), expected);
 }
 
-TEST_P(SeqSchedulerTest, BinomialAllLayersAllPolicies) {
-  const auto tc = GetParam();
-  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+TEST_P(SchedMatrix, Binomial) {
+  const auto& c = GetParam();
   apps::BinomialProgram prog;
   const auto roots = std::vector{apps::BinomialProgram::root(20, 7)};
   const std::uint64_t expected = apps::binomial_sequential(20, 7);  // 77520
   ASSERT_EQ(expected, 77520u);
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::BinomialProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::BinomialProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::BinomialProgram>>(prog, roots, pol, th), expected);
-  }
+  EXPECT_EQ(tbtest::run_cell<core::AosExec<apps::BinomialProgram>>(c, prog, roots), expected);
+  EXPECT_EQ(tbtest::run_cell<core::SoaExec<apps::BinomialProgram>>(c, prog, roots), expected);
+  EXPECT_EQ(tbtest::run_cell<core::SimdExec<apps::BinomialProgram>>(c, prog, roots), expected);
 }
 
-TEST_P(SeqSchedulerTest, ParenthesesAllLayersAllPolicies) {
-  const auto tc = GetParam();
-  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+TEST_P(SchedMatrix, Parentheses) {
+  const auto& c = GetParam();
   apps::ParenthesesProgram prog;
   const auto roots = std::vector{apps::ParenthesesProgram::root(9)};
   const std::uint64_t expected = apps::parentheses_sequential(9, 9);  // Catalan(9) = 4862
   ASSERT_EQ(expected, 4862u);
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  EXPECT_EQ(tbtest::run_cell<core::AosExec<apps::ParenthesesProgram>>(c, prog, roots),
+            expected);
+  EXPECT_EQ(tbtest::run_cell<core::SoaExec<apps::ParenthesesProgram>>(c, prog, roots),
+            expected);
+  EXPECT_EQ(tbtest::run_cell<core::SimdExec<apps::ParenthesesProgram>>(c, prog, roots),
+            expected);
 }
 
-TEST_P(SeqSchedulerTest, KnapsackAllLayersAllPolicies) {
-  const auto tc = GetParam();
-  const Thresholds th{tc.q, tc.t_dfe, tc.t_bfe, tc.t_restart};
+TEST_P(SchedMatrix, Knapsack) {
+  const auto& c = GetParam();
   const auto inst = apps::KnapsackInstance::random(14);
   apps::KnapsackProgram prog{&inst};
   const auto roots = std::vector{prog.root()};
   const auto expected = apps::knapsack_sequential(inst, 0, inst.capacity, 0);
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    const auto a = core::run_seq<core::AosExec<apps::KnapsackProgram>>(prog, roots, pol, th);
-    const auto s = core::run_seq<core::SoaExec<apps::KnapsackProgram>>(prog, roots, pol, th);
-    const auto v = core::run_seq<core::SimdExec<apps::KnapsackProgram>>(prog, roots, pol, th);
-    for (const auto& r : {a, s, v}) {
-      EXPECT_EQ(r.leaves, expected.leaves);
-      EXPECT_EQ(r.best, expected.best);
-    }
+  const auto a = tbtest::run_cell<core::AosExec<apps::KnapsackProgram>>(c, prog, roots);
+  const auto s = tbtest::run_cell<core::SoaExec<apps::KnapsackProgram>>(c, prog, roots);
+  const auto v = tbtest::run_cell<core::SimdExec<apps::KnapsackProgram>>(c, prog, roots);
+  for (const auto& r : {a, s, v}) {
+    EXPECT_EQ(r.leaves, expected.leaves);
+    EXPECT_EQ(r.best, expected.best);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Thresholds, SeqSchedulerTest,
-    ::testing::Values(ThresholdCase{8, 8, 8, 8},       // minimal blocks
-                      ThresholdCase{8, 64, 64, 16},    // small
-                      ThresholdCase{8, 256, 128, 32},  // t_bfe < t_dfe
-                      ThresholdCase{8, 4096, 4096, 256},
-                      ThresholdCase{4, 32, 16, 8},
-                      ThresholdCase{1, 1, 1, 1}),  // degenerate: pure depth-first
-    [](const auto& info) {
-      const auto& t = info.param;
-      return "q" + std::to_string(t.q) + "_dfe" + std::to_string(t.t_dfe) + "_bfe" +
-             std::to_string(t.t_bfe) + "_rs" + std::to_string(t.t_restart);
-    });
+INSTANTIATE_TEST_SUITE_P(Matrix, SchedMatrix, ::testing::ValuesIn(tbtest::matrix_cases()),
+                         tbtest::matrix_name);
 
 // ---- statistics invariants -----------------------------------------------------
 
@@ -120,8 +88,7 @@ TEST(ExecStatsInvariants, TaskAndLeafCensusMatchesTree) {
   apps::FibProgram prog;
   const auto roots = std::vector{apps::FibProgram::root(18)};
   const auto info = core::count_tree(prog, roots);
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  tbtest::for_each_policy([&](SeqPolicy pol) {
     ExecStats st;
     const Thresholds th{8, 128, 128, 32};
     (void)core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th, &st);
@@ -134,7 +101,7 @@ TEST(ExecStatsInvariants, TaskAndLeafCensusMatchesTree) {
     EXPECT_LE(st.steps_total, info.tasks);
     EXPECT_GT(st.simd_utilization(), 0.0);
     EXPECT_LE(st.simd_utilization(), 1.0);
-  }
+  });
 }
 
 TEST(ExecStatsInvariants, RestartBeatsBasicUtilizationOnSmallBlocks) {
@@ -184,13 +151,14 @@ TEST(StripMining, OuterDataParallelRoots) {
     expected += apps::fib_sequential(n % 17);
   }
   const Thresholds th{8, 16, 16, 8};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  tbtest::for_each_policy([&](SeqPolicy pol) {
     EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th), expected);
-  }
+  });
 }
 
 // ---- parallel schedulers --------------------------------------------------------
+//
+// Layer and elision corners the matrix above doesn't carry.
 
 class ParSchedulerTest : public ::testing::TestWithParam<int> {};
 
@@ -206,16 +174,6 @@ TEST_P(ParSchedulerTest, ReexpMatchesOracle) {
             expected);
 }
 
-TEST_P(ParSchedulerTest, RestartMatchesOracle) {
-  rt::ForkJoinPool pool(GetParam());
-  apps::FibProgram prog;
-  const auto roots = std::vector{apps::FibProgram::root(22)};
-  const std::uint64_t expected = apps::fib_sequential(22);
-  const Thresholds th{8, 256, 128, 32};
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th),
-            expected);
-}
-
 TEST_P(ParSchedulerTest, RestartWithoutElisionMatchesOracle) {
   rt::ForkJoinPool pool(GetParam());
   apps::ParenthesesProgram prog;
@@ -225,18 +183,6 @@ TEST_P(ParSchedulerTest, RestartWithoutElisionMatchesOracle) {
   EXPECT_EQ(core::run_par_restart<core::SoaExec<apps::ParenthesesProgram>>(
                 pool, prog, roots, th, nullptr, 0, /*elide_merges=*/false),
             expected);
-}
-
-TEST_P(ParSchedulerTest, RestartKnapsackMatchesOracle) {
-  rt::ForkJoinPool pool(GetParam());
-  const auto inst = apps::KnapsackInstance::random(15);
-  apps::KnapsackProgram prog{&inst};
-  const auto roots = std::vector{prog.root()};
-  const auto expected = apps::knapsack_sequential(inst, 0, inst.capacity, 0);
-  const Thresholds th{8, 128, 64, 16};
-  const auto r = core::run_par_restart<core::SimdExec<apps::KnapsackProgram>>(pool, prog, roots, th);
-  EXPECT_EQ(r.leaves, expected.leaves);
-  EXPECT_EQ(r.best, expected.best);
 }
 
 TEST_P(ParSchedulerTest, ParallelStatsCensusIsExact) {

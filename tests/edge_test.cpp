@@ -15,14 +15,65 @@
 #include "apps/uts.hpp"
 #include "core/driver.hpp"
 #include "core/ideal_restart.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
 using namespace tb;
 using core::SeqPolicy;
 using core::Thresholds;
+using tbtest::for_each_policy;
 
-constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+// ---- core::Thresholds contract -------------------------------------------------
+
+TEST(ThresholdsContract, ClampedEnforcesOrderingAndFloors) {
+  // Recovery thresholds above t_dfe clamp down; everything floors at 1.
+  const Thresholds wild{0, 0, 1000, 1000};
+  const auto c = wild.clamped();
+  EXPECT_EQ(c.q, 1);
+  EXPECT_EQ(c.t_dfe, 1u);
+  EXPECT_EQ(c.t_bfe, 1u);
+  EXPECT_EQ(c.t_restart, 1u);
+
+  const Thresholds mixed{8, 64, 4096, 4096};
+  const auto m = mixed.clamped();
+  EXPECT_EQ(m.t_dfe, 64u);
+  EXPECT_EQ(m.t_bfe, 64u);      // clamped to t_dfe
+  EXPECT_EQ(m.t_restart, 64u);  // clamped to t_dfe
+}
+
+TEST(ThresholdsContract, ClampedIsIdempotentAndPreservesLegalSettings) {
+  const Thresholds legal{8, 256, 128, 32};
+  const auto c = legal.clamped();
+  EXPECT_EQ(c.q, 8);
+  EXPECT_EQ(c.t_dfe, 256u);
+  EXPECT_EQ(c.t_bfe, 128u);
+  EXPECT_EQ(c.t_restart, 32u);
+  const auto cc = c.clamped();
+  EXPECT_EQ(cc.t_dfe, c.t_dfe);
+  EXPECT_EQ(cc.t_bfe, c.t_bfe);
+  EXPECT_EQ(cc.t_restart, c.t_restart);
+}
+
+TEST(ThresholdsContract, ForBlockSizePinsRecoveryToBlock) {
+  const auto t = Thresholds::for_block_size(8, 1024);
+  EXPECT_EQ(t.q, 8);
+  EXPECT_EQ(t.t_dfe, 1024u);
+  EXPECT_EQ(t.t_bfe, 1024u);
+  EXPECT_EQ(t.t_restart, 64u);  // block / 16 default
+
+  const auto explicit_restart = Thresholds::for_block_size(8, 1024, 100);
+  EXPECT_EQ(explicit_restart.t_restart, 100u);
+}
+
+TEST(ThresholdsContract, ForBlockSizeDegenerateBlockOfOne) {
+  // Fig. 4 sweeps block sizes from 2^0: block = 1 must stay legal (all
+  // thresholds 1), not underflow the block/16 restart default.
+  const auto t = Thresholds::for_block_size(8, 1);
+  EXPECT_EQ(t.t_dfe, 1u);
+  EXPECT_EQ(t.t_bfe, 1u);
+  EXPECT_EQ(t.t_restart, 1u);
+}
 
 // A program whose every branch dies without reaching a leaf beyond depth d:
 // exercises blocks that empty out with no reduction at all.
@@ -52,14 +103,13 @@ struct DyingProgram {
 TEST(EdgeCases, AllBranchesDieWithoutLeaves) {
   DyingProgram prog;
   const std::vector<DyingProgram::Task> roots{{0}};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  for_each_policy([&](SeqPolicy pol) {
     core::ExecStats st;
     const auto th = Thresholds::for_block_size(8, 64, 8);
     EXPECT_EQ(core::run_seq<core::SoaExec<DyingProgram>>(prog, roots, pol, th, &st), 0u);
     EXPECT_EQ(st.leaves, 0u);
     EXPECT_EQ(st.tasks_executed, (1u << prog.die_at) - 1);  // full binary to depth
-  }
+  });
 }
 
 TEST(EdgeCases, EmptyRootSetIsANoop) {
@@ -69,19 +119,16 @@ TEST(EdgeCases, EmptyRootSetIsANoop) {
   EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots,
                                                             SeqPolicy::Restart, th),
             0u);
-  rt::ForkJoinPool pool(2);
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th),
-            0u);
-  EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th), 0u);
+  tbtest::expect_par_matrix(prog, roots, th, std::uint64_t{0});
 }
 
 TEST(EdgeCases, RootIsAlreadyALeaf) {
   apps::FibProgram prog;
   const std::vector roots{apps::FibProgram::root(1)};
   const auto th = Thresholds::for_block_size(8, 64, 8);
-  for (auto pol : kPolicies) {
+  for_each_policy([&](SeqPolicy pol) {
     EXPECT_EQ(core::run_seq<core::SimdExec<apps::FibProgram>>(prog, roots, pol, th), 1u);
-  }
+  });
   EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::FibProgram>>(prog, roots, th, 2), 1u);
 }
 
@@ -91,12 +138,7 @@ TEST(EdgeCases, BlockSizeOneDegeneratesToDepthFirst) {
   apps::ParenthesesProgram prog;
   const std::vector roots{apps::ParenthesesProgram::root(8)};
   const std::uint64_t expected = apps::parentheses_sequential(8, 8);
-  const Thresholds th{8, 1, 1, 1};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, Thresholds{8, 1, 1, 1}, expected, tbtest::kSoa);
 }
 
 TEST(EdgeCases, HugeBlockSizeDegeneratesToBreadthFirst) {
@@ -104,13 +146,13 @@ TEST(EdgeCases, HugeBlockSizeDegeneratesToBreadthFirst) {
   const std::vector roots{apps::ParenthesesProgram::root(8)};
   const std::uint64_t expected = apps::parentheses_sequential(8, 8);
   const Thresholds th{8, 1u << 30, 1u << 30, 1u << 20};
-  for (auto pol : kPolicies) {
+  for_each_policy([&](SeqPolicy pol) {
     core::ExecStats st;
     EXPECT_EQ(core::run_seq<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol, th, &st),
               expected);
     // Pure BFE: exactly one superstep per level.
     EXPECT_LE(st.supersteps, 17u);
-  }
+  });
 }
 
 TEST(EdgeCases, InfeasibleKnapsackStillTerminates) {
@@ -122,11 +164,13 @@ TEST(EdgeCases, InfeasibleKnapsackStillTerminates) {
   apps::KnapsackProgram prog{&inst};
   const std::vector roots{prog.root()};
   const auto th = Thresholds::for_block_size(8, 16, 4);
-  for (auto pol : kPolicies) {
-    const auto r = core::run_seq<core::SimdExec<apps::KnapsackProgram>>(prog, roots, pol, th);
-    EXPECT_EQ(r.leaves, 1u);
-    EXPECT_EQ(r.best, 0);
-  }
+  tbtest::for_each_seq_result(
+      prog, roots, th, tbtest::kSimd,
+      [](const auto& r) {
+        EXPECT_EQ(r.leaves, 1u);
+        EXPECT_EQ(r.best, 0);
+      },
+      [] {});
 }
 
 TEST(EdgeCases, UnsatisfiableGraphColoring) {
@@ -137,24 +181,18 @@ TEST(EdgeCases, UnsatisfiableGraphColoring) {
   apps::GraphColProgram prog{&g};
   const std::vector roots{apps::GraphColProgram::root()};
   const auto th = Thresholds::for_block_size(4, 32, 4);
-  for (auto pol : kPolicies) {
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(prog, roots, pol, th), 0u);
-  }
-  rt::ForkJoinPool pool(3);
-  EXPECT_EQ(core::run_par_restart<core::SimdExec<apps::GraphColProgram>>(pool, prog, roots, th),
-            0u);
+  tbtest::expect_seq_matrix(prog, roots, th, std::uint64_t{0}, tbtest::kSimd);
+  tbtest::expect_par_matrix(prog, roots, th, std::uint64_t{0});
 }
 
 TEST(EdgeCases, NQueensNoSolutionBoards) {
   // n=2 and n=3 have zero solutions but non-trivial partial trees.
   for (const int n : {2, 3}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
     apps::NQueensProgram prog{n};
     const std::vector roots{apps::NQueensProgram::root()};
     const auto th = Thresholds::for_block_size(8, 16, 4);
-    for (auto pol : kPolicies) {
-      EXPECT_EQ(core::run_seq<core::SimdExec<apps::NQueensProgram>>(prog, roots, pol, th), 0u)
-          << "n=" << n;
-    }
+    tbtest::expect_seq_matrix(prog, roots, th, std::uint64_t{0}, tbtest::kSimd);
   }
 }
 
@@ -187,20 +225,14 @@ TEST_P(RandomInstanceAgreement, KnapsackAllVariants) {
   const std::vector roots{prog.root()};
   const auto expected = apps::knapsack_sequential(inst, 0, inst.capacity, 0);
   const auto th = Thresholds::for_block_size(8, 128, 16);
-  rt::ForkJoinPool pool(3);
-  for (auto pol : kPolicies) {
-    const auto r = core::run_seq<core::SimdExec<apps::KnapsackProgram>>(prog, roots, pol, th);
+  const auto check = [&](const auto& r) {
     EXPECT_EQ(r.leaves, expected.leaves);
     EXPECT_EQ(r.best, expected.best);
-  }
-  const auto pr = core::run_par_restart<core::SimdExec<apps::KnapsackProgram>>(pool, prog,
-                                                                               roots, th);
-  EXPECT_EQ(pr.leaves, expected.leaves);
-  EXPECT_EQ(pr.best, expected.best);
-  const auto ir =
-      core::run_ideal_restart<core::SimdExec<apps::KnapsackProgram>>(prog, roots, th, 3);
-  EXPECT_EQ(ir.leaves, expected.leaves);
-  EXPECT_EQ(ir.best, expected.best);
+  };
+  tbtest::for_each_seq_result(prog, roots, th, tbtest::kSimd, check, [] {});
+  rt::ForkJoinPool pool(3);
+  check(core::run_par_restart<core::SimdExec<apps::KnapsackProgram>>(pool, prog, roots, th));
+  check(core::run_ideal_restart<core::SimdExec<apps::KnapsackProgram>>(prog, roots, th, 3));
 }
 
 TEST_P(RandomInstanceAgreement, GraphColAllVariants) {
@@ -209,12 +241,7 @@ TEST_P(RandomInstanceAgreement, GraphColAllVariants) {
   const std::vector roots{apps::GraphColProgram::root()};
   const std::uint64_t expected = apps::graphcol_sequential(g, apps::GraphColProgram::root());
   const auto th = Thresholds::for_block_size(4, 64, 8);
-  for (auto pol : kPolicies) {
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::GraphColProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::GraphColProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, th, expected, tbtest::kAos | tbtest::kSimd);
 }
 
 TEST_P(RandomInstanceAgreement, UtsAllVariants) {
@@ -222,10 +249,8 @@ TEST_P(RandomInstanceAgreement, UtsAllVariants) {
   const auto roots = prog.roots();
   const std::uint64_t expected = apps::uts_sequential_all(prog);
   const auto th = Thresholds::for_block_size(4, 32, 8);
+  tbtest::expect_seq_matrix(prog, roots, th, expected, tbtest::kSimd);
   rt::ForkJoinPool pool(2);
-  for (auto pol : kPolicies) {
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::UtsProgram>>(prog, roots, pol, th), expected);
-  }
   EXPECT_EQ(core::run_par_reexp<core::SimdExec<apps::UtsProgram>>(pool, prog, roots, th),
             expected);
   EXPECT_EQ(core::run_ideal_restart<core::SimdExec<apps::UtsProgram>>(prog, roots, th, 2),
@@ -236,32 +261,22 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceAgreement,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
 
 // Threshold torture: weird combinations must never affect results.
-struct OddThresholds {
-  int q;
-  std::size_t dfe, bfe, restart;
-};
-
-class ThresholdTorture : public ::testing::TestWithParam<OddThresholds> {};
+class ThresholdTorture : public ::testing::TestWithParam<Thresholds> {};
 
 TEST_P(ThresholdTorture, ParenthesesAgrees) {
-  const auto p = GetParam();
   apps::ParenthesesProgram prog;
   const std::vector roots{apps::ParenthesesProgram::root(9)};
   const std::uint64_t expected = apps::parentheses_sequential(9, 9);
-  const Thresholds th{p.q, p.dfe, p.bfe, p.restart};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::ParenthesesProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, GetParam(), expected, tbtest::kSimd);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Combos, ThresholdTorture,
-    ::testing::Values(OddThresholds{1, 1, 1, 1}, OddThresholds{3, 7, 5, 2},
-                      OddThresholds{8, 9, 9, 9}, OddThresholds{16, 1000000, 1, 1},
-                      OddThresholds{8, 2, 1000, 1000},  // recovery thresholds clamp down
-                      OddThresholds{5, 33, 17, 31}));
+    ::testing::Values(Thresholds{1, 1, 1, 1}, Thresholds{3, 7, 5, 2}, Thresholds{8, 9, 9, 9},
+                      Thresholds{16, 1000000, 1, 1},
+                      Thresholds{8, 2, 1000, 1000},  // recovery thresholds clamp down
+                      Thresholds{5, 33, 17, 31}),
+    [](const auto& info) { return tbtest::threshold_name(info.param); });
 
 // A unary chain: every task spawns exactly one child until depth runs out.
 // Zero parallelism, maximal tree height — the deque grows one level per
@@ -291,8 +306,7 @@ TEST(EdgeCases, DeepUnaryChainTwentyThousandLevels) {
   // stack nor mismanage a 20k-level deque; exactly one leaf at the bottom.
   ChainProgram prog;
   const std::vector<ChainProgram::Task> roots{{20000}};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  for_each_policy([&](SeqPolicy pol) {
     core::ExecStats st;
     const auto th = Thresholds::for_block_size(8, 64, 8);
     EXPECT_EQ(core::run_seq<core::SoaExec<ChainProgram>>(prog, roots, pol, th, &st), 1u);
@@ -301,7 +315,7 @@ TEST(EdgeCases, DeepUnaryChainTwentyThousandLevels) {
     // Every step is a 1-task (incomplete) step at Q=8.
     EXPECT_EQ(st.steps_total, 20001u);
     EXPECT_EQ(st.steps_complete, 0u);
-  }
+  });
 }
 
 TEST(EdgeCases, ManyChainRootsRecoverDensity) {

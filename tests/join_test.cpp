@@ -12,14 +12,14 @@
 #include "apps/minmax_join.hpp"
 #include "core/driver.hpp"
 #include "core/join_scheduler.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
 using namespace tb;
 using core::SeqPolicy;
 using core::Thresholds;
-
-constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+using tbtest::for_each_policy;
 
 // ---- a sum-join program (fib) -------------------------------------------------------
 // Joining with + must reproduce the leaf-only reduction exactly — the
@@ -93,11 +93,10 @@ class JoinSweep : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(JoinSweep, SumJoinReproducesFib) {
   const std::size_t block = GetParam();
   const FibJoin prog;
-  for (const auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  for_each_policy([&](SeqPolicy pol) {
     const auto th = Thresholds::for_block_size(8, block, std::max<std::size_t>(block / 4, 1));
     EXPECT_EQ(core::run_join(prog, FibJoin::Task{24}, pol, th), apps::fib_sequential(24));
-  }
+  });
 }
 
 TEST_P(JoinSweep, MaxDepthJoinMeasuresHeight) {
@@ -119,11 +118,10 @@ TEST(Join, DyingBranchesCompleteTheirFrames) {
   // Perfect binary tree of depth 4 where every frontier node expands to
   // nothing: each node contributes finalize's +1, so the value is the node
   // count 2^4 - 1.
-  for (const auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  for_each_policy([&](SeqPolicy pol) {
     const auto th = Thresholds::for_block_size(8, 16, 4);
     EXPECT_EQ(core::run_join(prog, DyingJoin::Task{0}, pol, th), 15);
-  }
+  });
 }
 
 TEST(Join, MultipleRootsKeepSeparateResults) {
@@ -179,13 +177,12 @@ TEST_P(TrueMinmax, BlockedJoinMatchesRecursiveMinimax) {
   prog.inner.ply_limit = ply;
   const auto root = apps::MinmaxJoinProgram::root();
   const auto expected = apps::minmax_join_sequential(prog, root);
-  for (const auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  for_each_policy([&](SeqPolicy pol) {
     for (const std::size_t block : {16u, 256u}) {
       const auto th = Thresholds::for_block_size(8, block, std::max<std::size_t>(block / 4, 1));
       EXPECT_EQ(core::run_join(prog, root, pol, th), expected) << "block " << block;
     }
-  }
+  });
 }
 
 INSTANTIATE_TEST_SUITE_P(Plies, TrueMinmax, ::testing::Values(4, 5, 6),

@@ -7,14 +7,13 @@
 #include <numeric>
 #include <vector>
 
-#include "runtime/xoshiro.hpp"
 #include "simd/batch.hpp"
 #include "simd/compact.hpp"
 #include "simd/soa.hpp"
+#include "tests/support/rng.hpp"
 
 namespace {
 
-using tb::rt::Xoshiro256;
 using tb::simd::batch;
 using tb::simd::SoaBlock;
 
@@ -51,8 +50,8 @@ TEST(Batch, UnalignedLoad) {
 // Property: every arithmetic/bitwise op matches the scalar computation,
 // for the lane types and widths the apps use.
 template <class T, int W>
-void arithmetic_matches_scalar(std::uint64_t seed) {
-  Xoshiro256 rng(seed);
+void arithmetic_matches_scalar(std::uint64_t salt) {
+  auto rng = tbtest::golden_rng(salt);
   for (int round = 0; round < 50; ++round) {
     batch<T, W> a, b;
     for (int i = 0; i < W; ++i) {
@@ -81,8 +80,8 @@ TEST(Batch, ArithmeticF32x8) { arithmetic_matches_scalar<float, 8>(4); }
 TEST(Batch, ArithmeticI16x16) { arithmetic_matches_scalar<std::int16_t, 16>(5); }
 
 template <class T, int W>
-void masks_match_scalar(std::uint64_t seed) {
-  Xoshiro256 rng(seed);
+void masks_match_scalar(std::uint64_t salt) {
+  auto rng = tbtest::golden_rng(salt);
   for (int round = 0; round < 100; ++round) {
     batch<T, W> a, b;
     for (int i = 0; i < W; ++i) {
@@ -225,6 +224,50 @@ TEST(Compact, MaskClampedToWidth) {
   EXPECT_EQ(n, 4);
 }
 
+// ---- compaction edge cases ------------------------------------------------------
+//
+// The all-mask property sweeps above subsume these numerically, but the
+// boundary masks are the cases the kernels hit constantly (a step where no
+// lane spawns / every lane spawns), so pin them down by name.
+
+TEST(CompactEdge, AllDropMaskWritesNothingMeaningful) {
+  // mask = 0: zero survivors.  The contract still allows a full-vector
+  // store into the W-slot slack, but the returned count must be 0 for both
+  // the AVX2 table path and the scalar fallback.
+  const auto v32 = batch<std::int32_t, 8>::iota(100);
+  std::int32_t dst32[8] = {};
+  EXPECT_EQ(tb::simd::compact_store(dst32, 0u, v32), 0);
+
+  batch<std::uint64_t, 4> v64;
+  for (int i = 0; i < 4; ++i) v64.set(i, 7ull + static_cast<std::uint64_t>(i));
+  std::uint64_t dst64[4] = {};
+  EXPECT_EQ(tb::simd::compact_store(dst64, 0u, v64), 0);
+}
+
+TEST(CompactEdge, AllKeepMaskIsIdentityCopy) {
+  const auto v = batch<std::int32_t, 8>::iota(-4);
+  std::int32_t dst[8] = {};
+  EXPECT_EQ(tb::simd::compact_store(dst, 0xFFu, v), 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[i], v[i]) << "lane " << i;
+
+  batch<std::uint64_t, 4> w;
+  for (int i = 0; i < 4; ++i) w.set(i, 1ull << (60 - i));
+  std::uint64_t dst64[4] = {};
+  EXPECT_EQ(tb::simd::compact_store(dst64, 0xFu, w), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst64[i], w[i]) << "lane " << i;
+}
+
+TEST(CompactEdge, SingleSurvivorLandsInSlotZero) {
+  // Exactly one lane kept, from every position: the survivor must land at
+  // dst[0] regardless of its source lane.
+  const auto v = batch<std::int32_t, 8>::iota(50);
+  for (int i = 0; i < 8; ++i) {
+    std::int32_t dst[8] = {};
+    EXPECT_EQ(tb::simd::compact_store(dst, 1u << i, v), 1) << "lane " << i;
+    EXPECT_EQ(dst[0], 50 + i) << "lane " << i;
+  }
+}
+
 // ---- SoaBlock -----------------------------------------------------------------
 
 TEST(SoaBlock, PushRowRoundTrip) {
@@ -318,7 +361,7 @@ TEST(SoaBlock, AppendCompactZeroMaskIsNoop) {
 // Property: a long randomized sequence of push/append_compact calls keeps
 // columns consistent with a scalar model.
 TEST(SoaBlock, RandomizedAgainstModel) {
-  Xoshiro256 rng(99);
+  auto rng = tbtest::golden_rng(99);
   SoaBlock<std::int32_t, std::int32_t> blk;
   std::vector<std::pair<std::int32_t, std::int32_t>> model;
   for (int round = 0; round < 500; ++round) {

@@ -16,14 +16,14 @@
 #include "spatial/bodies.hpp"
 #include "spatial/kdtree.hpp"
 #include "spatial/octree.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
 using namespace tb;
 using core::SeqPolicy;
 using core::Thresholds;
-
-constexpr SeqPolicy kPolicies[] = {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart};
+using tbtest::for_each_policy;
 
 // ---- generators ---------------------------------------------------------------
 
@@ -163,16 +163,7 @@ TEST(PointCorr, AllSchedulerVariantsMatchBruteForce) {
   apps::PointCorrProgram prog{&p, &t, 0.08f};
   const auto roots = prog.roots();
   const std::uint64_t expected = apps::pointcorr_bruteforce(p, 0.08f);
-  const Thresholds th{8, 256, 128, 32};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::PointCorrProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::PointCorrProgram>>(prog, roots, pol, th),
-              expected);
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::PointCorrProgram>>(prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, Thresholds{8, 256, 128, 32}, expected);
 }
 
 TEST(PointCorr, ParallelSchedulersMatch) {
@@ -260,19 +251,8 @@ TEST(BarnesHut, InteractionFingerprintIdenticalAcrossVariants) {
   const float theta = 0.6f;
   const std::uint64_t expected = apps::barneshut_sequential(s.prog, theta);
   const auto roots = s.prog.roots(theta);
-  const Thresholds th{8, 256, 128, 32};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
-    s.reset();
-    EXPECT_EQ(core::run_seq<core::AosExec<apps::BarnesHutProgram>>(s.prog, roots, pol, th),
-              expected);
-    s.reset();
-    EXPECT_EQ(core::run_seq<core::SoaExec<apps::BarnesHutProgram>>(s.prog, roots, pol, th),
-              expected);
-    s.reset();
-    EXPECT_EQ(core::run_seq<core::SimdExec<apps::BarnesHutProgram>>(s.prog, roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(s.prog, roots, Thresholds{8, 256, 128, 32}, expected,
+                            tbtest::kAllLayers, [&] { s.reset(); });
 }
 
 TEST(BarnesHut, BlockedForcesMatchSequentialTraversal) {
@@ -335,8 +315,7 @@ TEST(Knn, AllSchedulerVariantsFindTheNeighbors) {
   const auto t = spatial::KdTree::build(p, 8);
   const int k = 3;
   const Thresholds th{8, 256, 128, 32};
-  for (auto pol : kPolicies) {
-    SCOPED_TRACE(core::to_string(pol));
+  for_each_policy([&](SeqPolicy pol) {
     apps::KnnState state(p.size(), k);
     apps::KnnProgram prog{&p, &t, &state};
     const auto roots = prog.roots();
@@ -348,7 +327,7 @@ TEST(Knn, AllSchedulerVariantsFindTheNeighbors) {
         EXPECT_NEAR(got[i], want[i], 1e-6f) << "query " << q << " rank " << i;
       }
     }
-  }
+  });
 }
 
 TEST(Knn, ParallelSchedulersFindTheNeighbors) {

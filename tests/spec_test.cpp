@@ -15,12 +15,14 @@
 #include "core/driver.hpp"
 #include "core/ideal_restart.hpp"
 #include "spec/spec_lang.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
 using namespace tb;
 using core::SeqPolicy;
 using spec::SpecProgram;
+using tbtest::for_each_policy;
 
 constexpr const char* kFib = R"(
   # fib(n): leaves (n < 2) sum to fib(n)
@@ -85,12 +87,8 @@ TEST(SpecLang, FibMatchesHandWrittenKernel) {
   const auto roots = std::vector{prog.make_root({21})};
   const std::uint64_t expected = apps::fib_sequential(21);
   EXPECT_EQ(spec::interpret_sequential(prog, roots[0]), expected);
-  const auto th = core::Thresholds::for_block_size(4, 256, 32);
-  for (auto pol : {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart}) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::AosExec<SpecProgram>>(prog, roots, pol, th), expected);
-    EXPECT_EQ(core::run_seq<core::SoaExec<SpecProgram>>(prog, roots, pol, th), expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, core::Thresholds::for_block_size(4, 256, 32),
+                            expected, tbtest::kAos | tbtest::kSoa);
 }
 
 TEST(SpecLang, BinomialMatchesHandWrittenKernel) {
@@ -106,10 +104,8 @@ TEST(SpecLang, GuardedSpawnsParenthesesMatch) {
   const auto prog = SpecProgram::parse(kParens);
   const auto roots = std::vector{prog.make_root({9, 9})};
   const std::uint64_t expected = apps::parentheses_sequential(9, 9);
-  const auto th = core::Thresholds::for_block_size(4, 64, 8);
-  for (auto pol : {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart}) {
-    EXPECT_EQ(core::run_seq<core::SoaExec<SpecProgram>>(prog, roots, pol, th), expected);
-  }
+  tbtest::expect_seq_matrix(prog, roots, core::Thresholds::for_block_size(4, 64, 8), expected,
+                            tbtest::kSoa);
 }
 
 TEST(SpecLang, RunsOnParallelSchedulers) {
@@ -227,12 +223,8 @@ TEST(SpecForeach, LoadSpecRunsEndToEnd) {
   ASSERT_TRUE(loaded.had_foreach);
   std::uint64_t expected = 0;
   for (int d = 0; d < 9; ++d) expected += apps::fib_sequential(2 * d + 1);
-  const auto th = core::Thresholds::for_block_size(4, 64, 8);
-  for (auto pol : {SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart}) {
-    SCOPED_TRACE(core::to_string(pol));
-    EXPECT_EQ(core::run_seq<core::SoaExec<SpecProgram>>(loaded.program, loaded.roots, pol, th),
-              expected);
-  }
+  tbtest::expect_seq_matrix(loaded.program, loaded.roots,
+                            core::Thresholds::for_block_size(4, 64, 8), expected, tbtest::kSoa);
 }
 
 TEST(SpecForeach, LoadSpecFallbackRootForBareMethod) {

@@ -24,6 +24,7 @@
 #include "spec/compiler.hpp"
 #include "spec/spec_lang.hpp"
 #include "spec/vm.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
@@ -556,7 +557,7 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(E2ECase{"fib", kFib, {21, 0}, 10946u},
                           E2ECase{"binomial", kBinomial, {19, 8}, 75582u},
                           E2ECase{"paren", kParens, {9, 9}, 4862u}),
-        ::testing::Values(SeqPolicy::Basic, SeqPolicy::Reexp, SeqPolicy::Restart)),
+        ::testing::ValuesIn(tbtest::kPolicies)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param).name) + "_" +
              core::to_string(std::get<1>(info.param));

@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bench/suite.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
@@ -29,8 +30,7 @@ class SuiteDigest : public ::testing::TestWithParam<int> {};
 TEST_P(SuiteDigest, AllSequentialConfigsMatchOracle) {
   IBench& b = *suite()[static_cast<std::size_t>(GetParam())];
   const std::string expected = b.run_sequential();
-  for (const auto policy : {tb::core::SeqPolicy::Basic, tb::core::SeqPolicy::Reexp,
-                            tb::core::SeqPolicy::Restart}) {
+  for (const auto policy : tbtest::kPolicies) {
     for (const auto layer : {Layer::Aos, Layer::Soa, Layer::Simd}) {
       BlockedConfig cfg;
       cfg.policy = policy;

@@ -1,0 +1,204 @@
+// Shared scheduler-matrix harness for the gtest suites.
+//
+// Nearly every suite proves the same theorem — "this variant reproduces the
+// sequential-recursion oracle" — over the same axes: sequential policy
+// (Basic/Reexp/Restart), data layout (AoS/SoA/SIMD), worker count, and
+// threshold preset.  This header owns those axes so a suite states only the
+// program, the roots, and the oracle.
+//
+// Include as "tests/support/harness.hpp" (repo-root-relative, like
+// "bench/bench_util.hpp" — src/-relative spellings are reserved for library
+// headers; see the root CMakeLists.txt).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "runtime/forkjoin.hpp"
+#include "tests/support/rng.hpp"
+
+namespace tbtest {
+
+// ---- axes -------------------------------------------------------------------------
+
+inline constexpr tb::core::SeqPolicy kPolicies[] = {
+    tb::core::SeqPolicy::Basic, tb::core::SeqPolicy::Reexp, tb::core::SeqPolicy::Restart};
+
+// Worker counts for the parallel schedulers; 1 pins the degenerate pool, 8
+// oversubscribes typical CI hosts so steals preempt mid-superstep.
+inline constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+
+// Data-layout axis.  Mirrors core::{Aos,Soa,Simd}Exec; a bitmask because a
+// few programs support only a subset (e.g. the spec interpreter has no SIMD
+// kernel).
+inline constexpr unsigned kAos = 1u;
+inline constexpr unsigned kSoa = 2u;
+inline constexpr unsigned kSimd = 4u;
+inline constexpr unsigned kAllLayers = kAos | kSoa | kSimd;
+
+// Threshold presets spanning degenerate depth-first (t_dfe = 1) through
+// huge breadth-first blocks — the sweep of core_test's original
+// ThresholdCase table, shared so every suite exercises the same corners.
+inline const std::vector<tb::core::Thresholds>& threshold_presets() {
+  static const std::vector<tb::core::Thresholds> kPresets = {
+      {8, 8, 8, 8},          // minimal blocks
+      {8, 64, 64, 16},       // small
+      {8, 256, 128, 32},     // t_bfe < t_dfe
+      {8, 4096, 4096, 256},  // defaults-sized
+      {4, 32, 16, 8},        // narrow SIMD
+      {1, 1, 1, 1},          // degenerate: pure depth-first
+  };
+  return kPresets;
+}
+
+inline std::string threshold_name(const tb::core::Thresholds& t) {
+  return "q" + std::to_string(t.q) + "_dfe" + std::to_string(t.t_dfe) + "_bfe" +
+         std::to_string(t.t_bfe) + "_rs" + std::to_string(t.t_restart);
+}
+
+// ---- policy / variant iteration ---------------------------------------------------
+
+// Invokes fn(policy) for every sequential policy under a SCOPED_TRACE naming
+// the policy, so a failure pinpoints the variant.
+template <class F>
+void for_each_policy(F&& fn) {
+  for (const auto pol : kPolicies) {
+    SCOPED_TRACE(tb::core::to_string(pol));
+    fn(pol);
+  }
+}
+
+// Runs `prog` sequentially through every (policy × enabled layer) cell and
+// hands each result to `check`.  `before` runs before every cell — for
+// programs with external side-effect state that must be reset (Barnes-Hut
+// accumulators).  Layers the program's concepts can't satisfy are compiled
+// out (the spec interpreter has no SIMD kernel), so asking for a layer the
+// program lacks is a silent skip, not a build break.
+template <class Program, class Check, class Before>
+void for_each_seq_result(const Program& prog, std::span<const typename Program::Task> roots,
+                         const tb::core::Thresholds& th, unsigned layers, Check&& check,
+                         Before&& before) {
+  namespace core = tb::core;
+  int cells = 0;
+  for_each_policy([&](core::SeqPolicy pol) {
+    if (layers & kAos) {
+      SCOPED_TRACE("layer=aos");
+      before();
+      check(core::run_seq<core::AosExec<Program>>(prog, roots, pol, th));
+      ++cells;
+    }
+    if constexpr (core::SoaProgram<Program>) {
+      if (layers & kSoa) {
+        SCOPED_TRACE("layer=soa");
+        before();
+        check(core::run_seq<core::SoaExec<Program>>(prog, roots, pol, th));
+        ++cells;
+      }
+    }
+    if constexpr (core::SimdProgram<Program>) {
+      if (layers & kSimd) {
+        SCOPED_TRACE("layer=simd");
+        before();
+        check(core::run_seq<core::SimdExec<Program>>(prog, roots, pol, th));
+        ++cells;
+      }
+    }
+  });
+  // Guard against a vacuous pass: if every requested layer was compiled out
+  // (the program stopped satisfying its concepts), fail instead of silently
+  // asserting nothing.
+  EXPECT_GT(cells, 0) << "no (policy × layer) cell ran — requested layer mask " << layers
+                      << " unsupported by this program";
+}
+
+// ---- golden-value matrix checks ---------------------------------------------------
+
+// Every sequential (policy × layer) cell must equal `expected` — the
+// bit-identical-to-sequential-recursion claim the paper rests on.
+template <class Program, class Expected, class Before>
+void expect_seq_matrix(const Program& prog, std::span<const typename Program::Task> roots,
+                       const tb::core::Thresholds& th, const Expected& expected,
+                       unsigned layers, Before&& before) {
+  for_each_seq_result(
+      prog, roots, th, layers, [&](const auto& result) { EXPECT_EQ(result, expected); },
+      before);
+}
+
+template <class Program, class Expected>
+void expect_seq_matrix(const Program& prog, std::span<const typename Program::Task> roots,
+                       const tb::core::Thresholds& th, const Expected& expected,
+                       unsigned layers = kAllLayers) {
+  expect_seq_matrix(prog, roots, th, expected, layers, [] {});
+}
+
+// Both parallel schedulers over every worker count must equal `expected`.
+// SIMD layer only — run_cell covers the AoS/SoA parallel paths; use it
+// directly when a program needs per-layer parallel coverage.
+template <class Program, class Expected>
+void expect_par_matrix(const Program& prog, std::span<const typename Program::Task> roots,
+                       const tb::core::Thresholds& th, const Expected& expected) {
+  namespace core = tb::core;
+  for (const int workers : kWorkerCounts) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    tb::rt::ForkJoinPool pool(workers);
+    EXPECT_EQ((core::run_par_reexp<core::SimdExec<Program>>(pool, prog, roots, th)), expected);
+    EXPECT_EQ((core::run_par_restart<core::SimdExec<Program>>(pool, prog, roots, th)),
+              expected);
+  }
+}
+
+// ---- full scheduler-matrix fixture ------------------------------------------------
+
+// One cell of the policy × workers × thresholds cross product.  workers == 0
+// means "sequential scheduler"; Basic has no parallel driver, so cells with
+// workers > 0 only carry Reexp/Restart.
+struct MatrixCase {
+  tb::core::SeqPolicy policy;
+  int workers;
+  tb::core::Thresholds th;
+};
+
+inline std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (const auto pol : kPolicies) {
+    for (const auto& th : threshold_presets()) {
+      cases.push_back({pol, 0, th});
+      if (pol == tb::core::SeqPolicy::Basic) continue;
+      for (const int w : kWorkerCounts) cases.push_back({pol, w, th});
+    }
+  }
+  return cases;
+}
+
+inline std::string matrix_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const auto& c = info.param;
+  const std::string sched =
+      c.workers == 0 ? std::string("seq") : "par" + std::to_string(c.workers);
+  return std::string(tb::core::to_string(c.policy)) + "_" + sched + "_" +
+         threshold_name(c.th);
+}
+
+// Fixture for suites instantiating the full matrix:
+//   INSTANTIATE_TEST_SUITE_P(Matrix, MyTest,
+//       ::testing::ValuesIn(tbtest::matrix_cases()), tbtest::matrix_name);
+class SchedulerMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+// Runs one matrix cell through data layout `Exec` and returns its result.
+template <class Exec>
+typename Exec::Program::Result run_cell(const MatrixCase& c,
+                                        const typename Exec::Program& prog,
+                                        std::span<const typename Exec::Program::Task> roots) {
+  namespace core = tb::core;
+  if (c.workers == 0) return core::run_seq<Exec>(prog, roots, c.policy, c.th);
+  tb::rt::ForkJoinPool pool(c.workers);
+  if (c.policy == core::SeqPolicy::Reexp)
+    return core::run_par_reexp<Exec>(pool, prog, roots, c.th);
+  return core::run_par_restart<Exec>(pool, prog, roots, c.th);
+}
+
+}  // namespace tbtest

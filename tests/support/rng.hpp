@@ -1,0 +1,21 @@
+// Deterministic RNG seeding for randomized tests.
+//
+// Every randomized fixture derives its stream from one golden seed, salted
+// per call site, so a failure reproduces bit-identically on any machine.
+// Split out of harness.hpp so substrate suites (simd_test) can use it
+// without pulling in the scheduler stack.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/xoshiro.hpp"
+
+namespace tbtest {
+
+inline constexpr std::uint64_t kGoldenSeed = 0x5eed0f00d5eedull;
+
+inline tb::rt::Xoshiro256 golden_rng(std::uint64_t salt = 0) {
+  return tb::rt::Xoshiro256(kGoldenSeed ^ salt);
+}
+
+}  // namespace tbtest
