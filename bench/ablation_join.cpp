@@ -8,26 +8,30 @@
 // frames, and the frame overhead relative to the leaf-only scheduler on
 // the identical tree (the marginal price of sync semantics).
 //
-// Flags: --ply=N (default 6; 7 ≈ 15 s)
+// Flags: --ply=N (default 6; 7 ≈ 15 s), --format=json, --out=
 #include <cstdio>
 
 #include "apps/minmax.hpp"
 #include "apps/minmax_join.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "core/driver.hpp"
 #include "core/join_scheduler.hpp"
 
 int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const int ply = static_cast<int>(flags.get_int("ply", 6));
+  tbench::Reporter rep("ablation_join", flags);
+  const std::string bench = "minmax_join:ply=" + std::to_string(ply);
 
   tb::apps::MinmaxJoinProgram prog;
   prog.inner.ply_limit = ply;
   const auto root = tb::apps::MinmaxJoinProgram::root();
 
   std::int32_t expected = 0;
-  const double ts = tbench::time_best(
-      [&] { expected = tb::apps::minmax_join_sequential(prog, root); });
+  const double ts = rep.add_timed(rep.make(bench, "seq"), 3, [&] {
+    expected = tb::apps::minmax_join_sequential(prog, root);
+  });
+  rep.set_last_digest(std::to_string(expected));
   std::printf("true minimax, 4x4 board, ply %d: value %d, recursive Ts = %.4fs\n", ply,
               expected, ts);
   std::printf("%8s | %9s %7s | %6s %10s %10s | %s\n", "t_dfe", "join(s)", "Ts/join", "util%",
@@ -35,23 +39,30 @@ int main(int argc, char** argv) {
 
   for (const std::size_t block : {64u, 512u, 4096u, 16384u}) {
     const auto th = tb::core::Thresholds::for_block_size(8, block, block / 8);
+    const std::string variant = "block=" + std::to_string(block);
     std::int32_t got = 0;
     tb::core::ExecStats st;
-    const double tj = tbench::time_best([&] {
-      st = tb::core::ExecStats{};
-      got = tb::core::run_join(prog, root, tb::core::SeqPolicy::Restart, th, &st);
-    });
+    const double tj =
+        rep.add_timed(rep.make(bench, "join:" + variant, "restart", "soa"), 3, [&] {
+          st = tb::core::ExecStats{};
+          got = tb::core::run_join(prog, root, tb::core::SeqPolicy::Restart, th, &st);
+        });
+    rep.set_last_digest(std::to_string(got));
     // The leaf-only scheduler on the same tree: the sync-free reference.
     const tb::apps::MinmaxProgram leaf_prog{ply};
     const std::vector roots{tb::apps::MinmaxProgram::root()};
-    double tl = tbench::time_best([&] {
+    double tl = rep.add_timed(rep.make(bench, "leaf:" + variant, "restart", "block"), 3, [&] {
       (void)tb::core::run_seq<tb::core::AosExec<tb::apps::MinmaxProgram>>(
           leaf_prog, roots, tb::core::SeqPolicy::Restart, th);
     });
+    rep.add_metric(rep.make(bench, "join:" + variant, "restart", "soa"), "utilization",
+                   st.simd_utilization());
+    rep.add_metric(rep.make(bench, "join:" + variant, "restart", "soa"), "frames",
+                   static_cast<double>(st.peak_frames));
     std::printf("%8zu | %9.4f %7.2f | %6.1f %10llu %9.4fs | %s\n", block, tj, ts / tj,
                 st.simd_utilization() * 100.0,
                 static_cast<unsigned long long>(st.peak_frames), tl,
                 got == expected ? "ok" : "MISMATCH");
   }
-  return 0;
+  return rep.finish();
 }

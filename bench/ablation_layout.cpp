@@ -5,17 +5,18 @@
 // each rung adds.  This isolates where the paper's single-core gains come
 // from (blocking vs layout vs vector execution).
 //
-// Flags: --scale=, --benchmarks=
+// Flags: --scale=, --benchmarks=, --format=json, --out=
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 
 int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const std::string scale = flags.get("scale", "default");
   const std::string filter = flags.get("benchmarks");
+  tbench::Reporter rep("ablation_layout", flags);
 
   auto suite = tbench::make_suite(scale);
   std::printf("%-12s | %9s | %9s %9s %9s | %7s %7s %7s\n", "benchmark", "Ts(s)", "block(s)",
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name())) continue;
     std::string expected;
-    const double ts = tbench::time_best([&] { expected = b->run_sequential(); }, 2);
+    const double ts = rep.add_timed(rep.make(b->name(), "seq"), 2,
+                                    [&] { expected = b->run_sequential(); });
+    rep.set_last_digest(expected);
     double times[3] = {0, 0, 0};
     const tbench::Layer layers[3] = {tbench::Layer::Aos, tbench::Layer::Soa,
                                      tbench::Layer::Simd};
@@ -34,7 +37,10 @@ int main(int argc, char** argv) {
       cfg.layer = layers[i];
       cfg.th = b->thresholds();
       std::string got;
-      times[i] = tbench::time_best([&] { got = b->run_blocked(cfg); }, 2);
+      times[i] = rep.add_timed(
+          rep.make(b->name(), "blocked", "restart", tbench::to_string(layers[i])), 2,
+          [&] { got = b->run_blocked(cfg); });
+      rep.set_last_digest(got);
       if (got != expected) std::printf("MISMATCH %s %s\n", b->name().c_str(),
                                        tbench::to_string(layers[i]));
     }
@@ -45,7 +51,13 @@ int main(int argc, char** argv) {
     g_soa.push_back(ts / times[1]);
     g_simd.push_back(ts / times[2]);
   }
+  rep.add_metric(rep.make("geomean", "speedup", "restart", "block"), "ratio",
+                 tbench::geomean(g_blk));
+  rep.add_metric(rep.make("geomean", "speedup", "restart", "soa"), "ratio",
+                 tbench::geomean(g_soa));
+  rep.add_metric(rep.make("geomean", "speedup", "restart", "simd"), "ratio",
+                 tbench::geomean(g_simd));
   std::printf("%-12s | %9s | %9s %9s %9s | %7.2f %7.2f %7.2f\n", "geomean", "", "", "", "",
               tbench::geomean(g_blk), tbench::geomean(g_soa), tbench::geomean(g_simd));
-  return 0;
+  return rep.finish();
 }

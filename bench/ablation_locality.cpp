@@ -9,13 +9,13 @@
 // lockstep leans on input order much harder, since it has no re-blocking
 // to recover from divergence.
 //
-// Flags: --scale=default|paper
+// Flags: --scale=default|paper, --format=json, --out=
 #include <cstdio>
 #include <vector>
 
 #include "apps/barneshut.hpp"
 #include "apps/pointcorr.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "core/driver.hpp"
 #include "lockstep/lockstep_barneshut.hpp"
 #include "lockstep/lockstep_pointcorr.hpp"
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const bool paper = flags.get("scale", "default") == "paper";
   const std::size_t n = paper ? 300000 : 20000;
+  tbench::Reporter rep("ablation_locality", flags);
 
   std::printf("input order vs traversal time (restart+SIMD blocked, lockstep baseline)\n");
   std::printf("%-10s %-8s | %10s %10s %8s | %9s %9s\n", "benchmark", "order", "blocked(s)",
@@ -39,23 +40,31 @@ int main(int argc, char** argv) {
     std::uint64_t reference = 0;
     for (int pass = 0; pass < 2; ++pass) {
       const auto& pts = pass == 0 ? random_order : sorted;
+      const char* order = pass == 0 ? "random" : "morton";
       const auto tree = tb::spatial::KdTree::build(pts, 16);
       const tb::apps::PointCorrProgram prog{&pts, &tree, paper ? 0.01f : 0.02f};
       const auto roots = prog.roots();
       const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 1024, 128);
       std::uint64_t blocked = 0, lock = 0;
-      const double t_blocked = tbench::time_best([&] {
-        blocked = tb::core::run_seq<tb::core::SimdExec<tb::apps::PointCorrProgram>>(
-            prog, roots, tb::core::SeqPolicy::Restart, th);
-      });
+      const double t_blocked =
+          rep.add_timed(rep.make("pointcorr", std::string("blocked:") + order, "restart",
+                                 "simd"),
+                        3, [&] {
+                          blocked =
+                              tb::core::run_seq<tb::core::SimdExec<tb::apps::PointCorrProgram>>(
+                                  prog, roots, tb::core::SeqPolicy::Restart, th);
+                        });
       tb::lockstep::LockstepStats ls;
-      const double t_lock = tbench::time_best([&] {
-        ls = {};
-        lock = tb::lockstep::lockstep_pointcorr(prog, &ls);
-      });
+      const double t_lock =
+          rep.add_timed(rep.make("pointcorr", std::string("lockstep:") + order), 3, [&] {
+            ls = {};
+            lock = tb::lockstep::lockstep_pointcorr(prog, &ls);
+          });
+      rep.add_metric(rep.make("pointcorr", std::string("lockstep:") + order), "occupancy",
+                     ls.occupancy());
       if (pass == 0) reference = blocked;
-      std::printf("%-10s %-8s | %10.4f %10.4f %7.1f%% | %9.4f %9s\n", "pointcorr",
-                  pass == 0 ? "random" : "morton", t_blocked, t_lock, ls.occupancy() * 100.0,
+      std::printf("%-10s %-8s | %10.4f %10.4f %7.1f%% | %9.4f %9s\n", "pointcorr", order,
+                  t_blocked, t_lock, ls.occupancy() * 100.0,
                   tb::spatial::mean_neighbor_distance(pts),
                   (blocked == lock && blocked == reference) ? "ok" : "MISMATCH");
     }
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
     std::uint64_t reference = 0;
     for (int pass = 0; pass < 2; ++pass) {
       const auto& bodies = pass == 0 ? random_order : sorted;
+      const char* order = pass == 0 ? "random" : "morton";
       const auto tree = tb::spatial::Octree::build(bodies, 8);
       std::vector<float> ax(bodies.size()), ay(bodies.size()), az(bodies.size());
       tb::apps::BarnesHutProgram prog{&bodies, &tree, ax.data(), ay.data(), az.data()};
@@ -79,26 +89,33 @@ int main(int argc, char** argv) {
         std::fill(az.begin(), az.end(), 0.0f);
       };
       std::uint64_t blocked = 0, lock = 0;
-      const double t_blocked = tbench::time_best([&] {
-        reset();
-        blocked = tb::core::run_seq<tb::core::SimdExec<tb::apps::BarnesHutProgram>>(
-            prog, roots, tb::core::SeqPolicy::Restart, th);
-      });
+      const double t_blocked =
+          rep.add_timed(rep.make("barneshut", std::string("blocked:") + order, "restart",
+                                 "simd"),
+                        3, [&] {
+                          reset();
+                          blocked =
+                              tb::core::run_seq<tb::core::SimdExec<tb::apps::BarnesHutProgram>>(
+                                  prog, roots, tb::core::SeqPolicy::Restart, th);
+                        });
       tb::lockstep::LockstepStats ls;
-      const double t_lock = tbench::time_best([&] {
-        reset();
-        ls = {};
-        lock = tb::lockstep::lockstep_barneshut(prog, theta, &ls);
-      });
+      const double t_lock =
+          rep.add_timed(rep.make("barneshut", std::string("lockstep:") + order), 3, [&] {
+            reset();
+            ls = {};
+            lock = tb::lockstep::lockstep_barneshut(prog, theta, &ls);
+          });
+      rep.add_metric(rep.make("barneshut", std::string("lockstep:") + order), "occupancy",
+                     ls.occupancy());
       if (pass == 0) reference = blocked;
       // Interaction totals differ between orders only through the tree
       // build (same bodies, same theta) — they must agree between engines.
-      std::printf("%-10s %-8s | %10.4f %10.4f %7.1f%% | %9.4f %9s\n", "barneshut",
-                  pass == 0 ? "random" : "morton", t_blocked, t_lock, ls.occupancy() * 100.0,
+      std::printf("%-10s %-8s | %10.4f %10.4f %7.1f%% | %9.4f %9s\n", "barneshut", order,
+                  t_blocked, t_lock, ls.occupancy() * 100.0,
                   tb::spatial::mean_neighbor_distance(bodies),
                   blocked == lock ? "ok" : "MISMATCH");
       (void)reference;
     }
   }
-  return 0;
+  return rep.finish();
 }

@@ -5,11 +5,11 @@
 // (b) The §6 no-intervening-steal merge elision: parallel restart with the
 //     optimization on vs off (merge counts show why it matters).
 //
-// Flags: --scale=, --benchmarks=, --workers=
+// Flags: --scale=, --benchmarks=, --workers=, --format=json, --out=
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const std::string scale = flags.get("scale", "default");
   const std::string filter = flags.get("benchmarks", "nqueens,uts,parentheses,graphcol");
   const int workers = static_cast<int>(flags.get_int("workers", 4));
+  tbench::Reporter rep("ablation_restart", flags);
 
   auto suite = tbench::make_suite(scale);
 
@@ -32,7 +33,11 @@ int main(int argc, char** argv) {
       cfg.layer = tbench::Layer::Simd;
       cfg.th = b->thresholds(0, rb);
       tb::core::ExecStats st;
-      const double t = tbench::time_best([&] { (void)b->run_blocked(cfg, &st); }, 2);
+      const std::string variant = "rb=" + std::to_string(rb);
+      const double t = rep.add_timed(rep.make(b->name(), variant, "restart", "simd"), 2,
+                                     [&] { (void)b->run_blocked(cfg, &st); });
+      rep.add_metric(rep.make(b->name(), variant, "restart", "simd"), "utilization",
+                     st.simd_utilization());
       std::printf("%-12s %8zu | %9.4f %8.1f %10llu\n", b->name().c_str(), rb, t,
                   st.simd_utilization() * 100.0,
                   static_cast<unsigned long long>(st.restart_actions));
@@ -52,10 +57,13 @@ int main(int argc, char** argv) {
       cfg.elide = elide;
       cfg.th = b->thresholds();
       tb::core::ExecStats st;
-      const double t = tbench::time_best([&] { (void)b->run_blocked(cfg, &st); }, 2);
+      const std::string variant = elide ? "elide=on" : "elide=off";
+      const double t =
+          rep.add_timed(rep.make(b->name(), variant, "restart", "simd", workers), 2,
+                        [&] { (void)b->run_blocked(cfg, &st); });
       std::printf("%-12s %8s | %9.4f %10llu\n", b->name().c_str(), elide ? "on" : "off", t,
                   static_cast<unsigned long long>(st.merges));
     }
   }
-  return 0;
+  return rep.finish();
 }

@@ -7,11 +7,11 @@
 // tracking and compares the measured peak against Lemma 8's h·k·Q·P
 // envelope across core counts.
 //
-// Flags: --scale=, --benchmarks=, --max-exp=N (default 14)
+// Flags: --scale=, --benchmarks=, --max-exp=N (default 14), --format=json, --out=
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 #include "sim/comp_tree.hpp"
 #include "sim/par_sim.hpp"
@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const std::string scale = flags.get("scale", "default");
   const std::string filter = flags.get("benchmarks", "fib,nqueens,uts,minmax");
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 14));
+  tbench::Reporter rep("ablation_space", flags);
 
   auto suite = tbench::make_suite(scale);
   std::printf("# Real schedulers: utilization vs peak resident tasks per t_dfe\n");
@@ -39,6 +40,11 @@ int main(int argc, char** argv) {
         cfg.th = b->thresholds(block, std::min<std::size_t>(b->default_restart(), block));
         tb::core::ExecStats st;
         (void)b->run_blocked(cfg, &st);
+        const std::string variant = "block=" + std::to_string(block);
+        rep.add_metric(rep.make(b->name(), variant, tb::core::to_string(pol), "soa"),
+                       "utilization", st.simd_utilization());
+        rep.add_metric(rep.make(b->name(), variant, tb::core::to_string(pol), "soa"),
+                       "tasks", static_cast<double>(st.peak_space_tasks));
         std::printf(" | %3.0f%% %9llu", st.simd_utilization() * 100.0,
                     static_cast<unsigned long long>(st.peak_space_tasks));
       }
@@ -72,11 +78,14 @@ int main(int argc, char** argv) {
         const auto res = tb::sim::simulate(tc.tree, cfg);
         const double envelope = static_cast<double>(tc.tree.height) *
                                 static_cast<double>(t_dfe) * static_cast<double>(p);
+        rep.add_metric(rep.make(tc.name, "sim:tdfe=" + std::to_string(t_dfe), "restart", "-",
+                                p),
+                       "tasks", static_cast<double>(res.peak_space_tasks));
         std::printf("%-14s %3d %8zu %12llu %14.0f %8.3f\n", tc.name, p, t_dfe,
                     static_cast<unsigned long long>(res.peak_space_tasks), envelope,
                     static_cast<double>(res.peak_space_tasks) / envelope);
       }
     }
   }
-  return 0;
+  return rep.finish();
 }

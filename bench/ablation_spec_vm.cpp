@@ -12,7 +12,8 @@
 // All tiers run under the sequential restart scheduler with the same
 // thresholds, so the delta is purely the per-task/per-block execution cost.
 //
-// Flags: --scale=default|paper, --programs=fib,binomial,paren
+// Flags: --scale=default|paper, --programs=fib,binomial,paren,
+//        --format=json, --out=
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,7 +21,7 @@
 #include "apps/binomial.hpp"
 #include "apps/fib.hpp"
 #include "apps/parentheses.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "core/driver.hpp"
 #include "spec/spec_lang.hpp"
 #include "spec/vm.hpp"
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const bool paper = flags.get("scale", "default") == "paper";
   const std::string filter = flags.get("programs");
+  tbench::Reporter rep("ablation_spec_vm", flags);
 
   const std::vector<ProgramCase> cases = {
       {"fib", kFib, {paper ? 34 : 29, 0}, native_fib},
@@ -108,19 +110,20 @@ int main(int argc, char** argv) {
     const auto info = core::count_tree(ast, ast_roots);
 
     std::uint64_t r_ast = 0, r_vm = 0, r_simd = 0, r_native = 0;
-    const double t_ast = tbench::time_best([&] {
+    const double t_ast = rep.add_timed(rep.make(c.name, "ast", "restart", "soa"), 3, [&] {
       r_ast = core::run_seq<core::SoaExec<spec::SpecProgram>>(ast, ast_roots,
                                                               SeqPolicy::Restart, th);
     });
-    const double t_vm = tbench::time_best([&] {
+    const double t_vm = rep.add_timed(rep.make(c.name, "vm", "restart", "soa"), 3, [&] {
       r_vm = core::run_seq<core::SoaExec<spec::CompiledSpecProgram>>(vm, vm_roots,
                                                                      SeqPolicy::Restart, th);
     });
-    const double t_simd = tbench::time_best([&] {
+    const double t_simd = rep.add_timed(rep.make(c.name, "vm+simd", "restart", "simd"), 3, [&] {
       r_simd = core::run_seq<core::SimdExec<spec::CompiledSpecProgram>>(
           vm, vm_roots, SeqPolicy::Restart, th);
     });
-    const double t_native = tbench::time_best([&] { r_native = c.native(th, c.root); });
+    const double t_native = rep.add_timed(rep.make(c.name, "native", "restart", "simd"), 3,
+                                          [&] { r_native = c.native(th, c.root); });
 
     if (r_vm != r_ast || r_simd != r_ast || r_native != r_ast) {
       std::printf("MISMATCH %s: ast=%llu vm=%llu simd=%llu native=%llu\n", c.name.c_str(),
@@ -136,8 +139,11 @@ int main(int argc, char** argv) {
     g_simd.push_back(t_ast / t_simd);
     g_native.push_back(t_ast / t_native);
   }
+  rep.add_metric(rep.make("geomean", "vm/ast"), "ratio", tbench::geomean(g_vm));
+  rep.add_metric(rep.make("geomean", "simd/ast"), "ratio", tbench::geomean(g_simd));
+  rep.add_metric(rep.make("geomean", "native/ast"), "ratio", tbench::geomean(g_native));
   std::printf("%-10s | %10s | %9s %9s %9s %9s | %7.2f %7.2f %7.2f\n", "geomean", "", "", "",
               "", "", tbench::geomean(g_vm), tbench::geomean(g_simd),
               tbench::geomean(g_native));
-  return 0;
+  return rep.finish();
 }

@@ -11,11 +11,12 @@
 // of *attempts* also falls as c grows (a waiting thief attempts less
 // often), which the attempt columns make visible.
 //
-// Flags: --p=N (default 8), --tree=fib|perfect|random (default fib)
+// Flags: --p=N (default 8), --tree=fib|perfect|random (default fib),
+//        --format=json, --out=
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "sim/comp_tree.hpp"
 #include "sim/par_sim.hpp"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const int p = static_cast<int>(flags.get_int("p", 8));
   const std::string tree_name = flags.get("tree", "fib");
+  tbench::Reporter rep("ablation_steal", flags);
 
   tb::sim::CompTree tree;
   if (tree_name == "perfect") {
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
       const auto res = tb::sim::simulate(tree, cfg);
       makespan[i] = res.makespan;
       steals[i] = res.steal_attempts;
+      rep.add_metric(rep.make(tree_name, "c=" + std::to_string(c), tb::sim::to_string(pol),
+                              "-", p),
+                     "steps", static_cast<double>(res.makespan));
       ++i;
     }
     if (c == 1) {
@@ -74,5 +79,5 @@ int main(int argc, char** argv) {
                   static_cast<double>(makespan[2]) / base_restart);
     }
   }
-  return 0;
+  return rep.finish();
 }

@@ -4,17 +4,18 @@
 //     more SIMD density at more space.  (b) t_bfe (re-expansion trigger)
 //     with t_dfe fixed: the paper recommends k1 ≈ k; the sweep shows why.
 //
-// Flags: --scale=, --benchmarks=
+// Flags: --scale=, --benchmarks=, --format=json, --out=
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 
 int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const std::string scale = flags.get("scale", "default");
   const std::string filter = flags.get("benchmarks", "fib,nqueens,uts,minmax");
+  tbench::Reporter rep("ablation_thresholds", flags);
 
   auto suite = tbench::make_suite(scale);
 
@@ -30,7 +31,12 @@ int main(int argc, char** argv) {
         cfg.layer = tbench::Layer::Simd;
         cfg.th = b->thresholds(dfe, std::min<std::size_t>(dfe / 8, 256));
         tb::core::ExecStats st;
-        const double t = tbench::time_best([&] { (void)b->run_blocked(cfg, &st); }, 2);
+        const std::string variant = "dfe=" + std::to_string(dfe);
+        const double t =
+            rep.add_timed(rep.make(b->name(), variant, tb::core::to_string(pol), "simd"), 2,
+                          [&] { (void)b->run_blocked(cfg, &st); });
+        rep.add_metric(rep.make(b->name(), variant, tb::core::to_string(pol), "simd"),
+                       "utilization", st.simd_utilization());
         std::printf("%-12s %8zu | %-8s %9.4f %8.1f %12llu\n", b->name().c_str(), dfe,
                     tb::core::to_string(pol), t, st.simd_utilization() * 100.0,
                     static_cast<unsigned long long>(st.peak_space_tasks));
@@ -50,12 +56,15 @@ int main(int argc, char** argv) {
       cfg.layer = tbench::Layer::Simd;
       cfg.th = tb::core::Thresholds{b->q(), dfe, bfe, b->default_restart()}.clamped();
       tb::core::ExecStats st;
-      const double t = tbench::time_best([&] { (void)b->run_blocked(cfg, &st); }, 2);
+      const std::string variant =
+          "dfe=" + std::to_string(dfe) + ":bfe=" + std::to_string(bfe);
+      const double t = rep.add_timed(rep.make(b->name(), variant, "reexp", "simd"), 2,
+                                     [&] { (void)b->run_blocked(cfg, &st); });
       std::printf("%-12s %8zu %8zu | %9.4f %8.1f\n", b->name().c_str(), dfe, bfe, t,
                   st.simd_utilization() * 100.0);
     }
   }
   std::printf("\n# Expected: utilization rises with t_dfe; k1 ≈ k (t_bfe ≈ t_dfe) is the\n"
               "# best re-expansion setting (§4.1), diminishing returns beyond ~2^11.\n");
-  return 0;
+  return rep.finish();
 }

@@ -14,7 +14,7 @@
 // utilization (complete steps / steps).  Task blocks keep lanes full by
 // compacting live tasks; lockstep pays for divergence with idle lanes.
 //
-// Flags: --scale=default|paper
+// Flags: --scale=default|paper, --format=json, --out=
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,7 +22,7 @@
 #include "apps/barneshut.hpp"
 #include "apps/knn.hpp"
 #include "apps/pointcorr.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "core/driver.hpp"
 #include "lockstep/lockstep_barneshut.hpp"
 #include "lockstep/lockstep_knn.hpp"
@@ -40,7 +40,10 @@ struct Row {
   bool ok;
 };
 
-void print(const Row& r) {
+void print(tbench::Reporter& rep, const Row& r) {
+  rep.add_metric(rep.make(r.name, "lockstep"), "occupancy", r.occupancy);
+  rep.add_metric(rep.make(r.name, "taskblock", "restart", "simd"), "utilization",
+                 r.utilization);
   std::printf("%-10s | %9.4f %9.4f %9.4f | %7.2f %7.2f | %5.1f%% %5.1f%% | %s\n",
               r.name.c_str(), r.t_seq, r.t_lockstep, r.t_taskblock, r.t_seq / r.t_lockstep,
               r.t_seq / r.t_taskblock, r.occupancy * 100.0, r.utilization * 100.0,
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   const std::size_t n_pc = paper ? 300000 : 20000;
   const std::size_t n_knn = paper ? 100000 : 20000;
   const std::size_t n_bh = paper ? 1000000 : 20000;
+  tbench::Reporter rep("baseline_lockstep", flags);
 
   std::printf("lockstep (prior-work data-parallel-only) vs task blocks, single core\n");
   std::printf("%-10s | %9s %9s %9s | %7s %7s | %6s %6s | %s\n", "benchmark", "seq(s)",
@@ -66,24 +70,27 @@ int main(int argc, char** argv) {
     const tb::apps::PointCorrProgram prog{&pts, &tree, paper ? 0.01f : 0.02f};
     Row r{"pointcorr", 0, 0, 0, 0, 0, true};
     std::uint64_t seq = 0, lock = 0, tblk = 0;
-    r.t_seq = tbench::time_best([&] { seq = tb::apps::pointcorr_sequential(prog); });
+    r.t_seq = rep.add_timed(rep.make("pointcorr", "seq"), 3,
+                            [&] { seq = tb::apps::pointcorr_sequential(prog); });
     tb::lockstep::LockstepStats ls;
-    r.t_lockstep = tbench::time_best([&] {
+    r.t_lockstep = rep.add_timed(rep.make("pointcorr", "lockstep"), 3, [&] {
       ls = {};
       lock = tb::lockstep::lockstep_pointcorr(prog, &ls);
     });
     const auto roots = prog.roots();
     const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 1024, 128);
     tb::core::ExecStats st;
-    r.t_taskblock = tbench::time_best([&] {
-      st = {};
-      tblk = tb::core::run_seq<tb::core::SimdExec<tb::apps::PointCorrProgram>>(
-          prog, roots, tb::core::SeqPolicy::Restart, th, &st);
-    });
+    r.t_taskblock = rep.add_timed(rep.make("pointcorr", "taskblock", "restart", "simd"), 3,
+                                  [&] {
+                                    st = {};
+                                    tblk = tb::core::run_seq<
+                                        tb::core::SimdExec<tb::apps::PointCorrProgram>>(
+                                        prog, roots, tb::core::SeqPolicy::Restart, th, &st);
+                                  });
     r.occupancy = ls.occupancy();
     r.utilization = st.simd_utilization();
     r.ok = seq == lock && seq == tblk;
-    print(r);
+    print(rep, r);
   }
 
   {  // knn
@@ -103,14 +110,14 @@ int main(int argc, char** argv) {
       }
       return std::to_string(h);
     };
-    r.t_seq = tbench::time_best([&] {
+    r.t_seq = rep.add_timed(rep.make("knn", "seq"), 3, [&] {
       tb::apps::KnnState state(pts.size(), k);
       tb::apps::KnnProgram prog{&pts, &tree, &state};
       tb::apps::knn_sequential(prog);
       d_seq = digest(state);
     });
     tb::lockstep::LockstepStats ls;
-    r.t_lockstep = tbench::time_best([&] {
+    r.t_lockstep = rep.add_timed(rep.make("knn", "lockstep"), 3, [&] {
       ls = {};
       tb::apps::KnnState state(pts.size(), k);
       tb::apps::KnnProgram prog{&pts, &tree, &state};
@@ -119,7 +126,7 @@ int main(int argc, char** argv) {
     });
     tb::core::ExecStats st;
     const auto th = tb::core::Thresholds::for_block_size(8, 512, 64);
-    r.t_taskblock = tbench::time_best([&] {
+    r.t_taskblock = rep.add_timed(rep.make("knn", "taskblock", "restart", "simd"), 3, [&] {
       st = {};
       tb::apps::KnnState state(pts.size(), k);
       tb::apps::KnnProgram prog{&pts, &tree, &state};
@@ -131,7 +138,7 @@ int main(int argc, char** argv) {
     r.occupancy = ls.occupancy();
     r.utilization = st.simd_utilization();
     r.ok = d_seq == d_lock && d_seq == d_tblk;
-    print(r);
+    print(rep, r);
   }
 
   {  // barnes-hut
@@ -147,12 +154,12 @@ int main(int argc, char** argv) {
     };
     Row r{"barneshut", 0, 0, 0, 0, 0, true};
     std::uint64_t seq = 0, lock = 0, tblk = 0;
-    r.t_seq = tbench::time_best([&] {
+    r.t_seq = rep.add_timed(rep.make("barneshut", "seq"), 3, [&] {
       reset();
       seq = tb::apps::barneshut_sequential(prog, theta);
     });
     tb::lockstep::LockstepStats ls;
-    r.t_lockstep = tbench::time_best([&] {
+    r.t_lockstep = rep.add_timed(rep.make("barneshut", "lockstep"), 3, [&] {
       reset();
       ls = {};
       lock = tb::lockstep::lockstep_barneshut(prog, theta, &ls);
@@ -160,16 +167,18 @@ int main(int argc, char** argv) {
     const auto roots = prog.roots(theta);
     const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 512, 64);
     tb::core::ExecStats st;
-    r.t_taskblock = tbench::time_best([&] {
-      reset();
-      st = {};
-      tblk = tb::core::run_seq<tb::core::SimdExec<tb::apps::BarnesHutProgram>>(
-          prog, roots, tb::core::SeqPolicy::Restart, th, &st);
-    });
+    r.t_taskblock = rep.add_timed(rep.make("barneshut", "taskblock", "restart", "simd"), 3,
+                                  [&] {
+                                    reset();
+                                    st = {};
+                                    tblk = tb::core::run_seq<
+                                        tb::core::SimdExec<tb::apps::BarnesHutProgram>>(
+                                        prog, roots, tb::core::SeqPolicy::Restart, th, &st);
+                                  });
     r.occupancy = ls.occupancy();
     r.utilization = st.simd_utilization();
     r.ok = seq == lock && seq == tblk;
-    print(r);
+    print(rep, r);
   }
-  return 0;
+  return rep.finish();
 }

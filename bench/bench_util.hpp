@@ -1,99 +1,9 @@
-// Shared utilities for the benchmark harnesses: wall-clock timing with
-// repetitions, geometric means, and a tiny flag parser (--key=value).
+// Umbrella for the bench/support/ harness library: flag parsing, timing,
+// and the structured-result reporter.  Kept so existing consumers
+// (examples/tbrun, tests/suite_test) keep their one-line include; new code
+// can include the specific bench/support/*.hpp headers directly.
 #pragma once
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <cstdint>
-#include <cstdio>
-#include <string>
-#include <string_view>
-#include <vector>
-
-namespace tbench {
-
-class Timer {
-public:
-  Timer() : start_(clock::now()) {}
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
-private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
-
-// Best-of-N wall time of `fn`.
-template <class F>
-double time_best(F&& fn, int reps = 3) {
-  double best = 1e100;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    fn();
-    best = std::min(best, t.seconds());
-  }
-  return best;
-}
-
-inline double geomean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
-  double lg = 0;
-  for (const double x : xs) lg += std::log(std::max(x, 1e-12));
-  return std::exp(lg / static_cast<double>(xs.size()));
-}
-
-// --key=value / --flag command-line options.
-class Flags {
-public:
-  Flags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string_view a = argv[i];
-      if (a.rfind("--", 0) != 0) continue;
-      a.remove_prefix(2);
-      const auto eq = a.find('=');
-      if (eq == std::string_view::npos) {
-        kv_.emplace_back(std::string(a), "1");
-      } else {
-        kv_.emplace_back(std::string(a.substr(0, eq)), std::string(a.substr(eq + 1)));
-      }
-    }
-  }
-
-  std::string get(const std::string& key, const std::string& def = "") const {
-    for (const auto& [k, v] : kv_) {
-      if (k == key) return v;
-    }
-    return def;
-  }
-  long get_int(const std::string& key, long def) const {
-    const auto v = get(key);
-    return v.empty() ? def : std::stol(v);
-  }
-  double get_double(const std::string& key, double def) const {
-    const auto v = get(key);
-    return v.empty() ? def : std::stod(v);
-  }
-  bool has(const std::string& key) const { return !get(key).empty(); }
-
-private:
-  std::vector<std::pair<std::string, std::string>> kv_;
-};
-
-// True when `name` is in the comma-separated list (or the list is empty).
-inline bool selected(const std::string& list, const std::string& name) {
-  if (list.empty()) return true;
-  std::size_t pos = 0;
-  while (pos <= list.size()) {
-    const auto comma = list.find(',', pos);
-    const auto item = list.substr(pos, comma == std::string::npos ? std::string::npos
-                                                                  : comma - pos);
-    if (item == name) return true;
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return false;
-}
-
-}  // namespace tbench
+#include "bench/support/flags.hpp"
+#include "bench/support/report.hpp"
+#include "bench/support/timing.hpp"

@@ -7,14 +7,19 @@
 // metric of §7.2, measured by the sequential schedulers, so the output is
 // deterministic and host-independent.
 //
+// JSON records: one "utilization" record per (benchmark × policy × block).
+// Deterministic, so bench_diff gates them exactly — this is the baseline
+// document under bench/baselines/.
+//
 // Output: CSV `benchmark,policy,block,utilization` plus a rendered summary.
-// Flags: --scale=, --benchmarks=, --max-exp=N (default 16), --csv-only
+// Flags: --scale=, --benchmarks=, --max-exp=N (default 16), --csv-only,
+//        --format=json, --out=
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 
 int main(int argc, char** argv) {
@@ -24,6 +29,7 @@ int main(int argc, char** argv) {
   const std::string filter =
       flags.get("benchmarks", "nqueens,graphcol,uts,minmax,barneshut,pointcorr");
   const bool csv_only = flags.has("csv-only");
+  tbench::Reporter rep("fig4_simd_utilization", flags);
 
   auto suite = tbench::make_suite(scale);
   std::printf("benchmark,policy,block,utilization\n");
@@ -42,6 +48,9 @@ int main(int argc, char** argv) {
         (void)b->run_blocked(cfg, &st);
         const double u = st.simd_utilization();
         std::printf("%s,%s,%zu,%.4f\n", b->name().c_str(), tb::core::to_string(pol), block, u);
+        rep.add_metric(rep.make(b->name(), "block=" + std::to_string(block),
+                                tb::core::to_string(pol), "soa", 0),
+                       "utilization", u);
         series[b->name()][tb::core::to_string(pol)].push_back(u);
       }
     }
@@ -61,5 +70,5 @@ int main(int argc, char** argv) {
                   rs.front() * 100, rs.back() * 100);
     }
   }
-  return 0;
+  return rep.finish();
 }

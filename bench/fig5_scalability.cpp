@@ -10,14 +10,18 @@
 //              virtual cores — this reproduces the paper's scaling shape
 //              independent of the host (DESIGN.md §3).
 //
+// JSON records: measured points as raw "seconds" timings; simulated points
+// as deterministic "speedup" ratios (host-independent, diffable exactly).
+//
 // Output: CSV `benchmark,mode,policy,workers,speedup`.
 // Flags: --scale= (measured), --sim-scale= (simulated; default test),
-//        --max-workers=16, --block=32, --benchmarks=, --mode=both
+//        --max-workers=16, --block=32, --benchmarks=, --mode=both,
+//        --format=json, --out=
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 #include "sim/materialize.hpp"
 #include "sim/par_sim.hpp"
@@ -26,7 +30,7 @@ namespace {
 
 constexpr const char* kFigBenches = "graphcol,uts,minmax,barneshut,pointcorr,knn";
 
-void run_measured(const tbench::Flags& flags) {
+void run_measured(const tbench::Flags& flags, tbench::Reporter& rep) {
   const std::string scale = flags.get("scale", "default");
   const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
   const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 32));
@@ -35,10 +39,13 @@ void run_measured(const tbench::Flags& flags) {
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name())) continue;
     tb::rt::ForkJoinPool pool1(1);
-    const double t1_scalar = tbench::time_best([&] { (void)b->run_cilk(pool1); }, 1);
+    const double t1_scalar = rep.add_timed(rep.make(b->name(), "measured", "scalar", "-", 1), 1,
+                                           [&] { (void)b->run_cilk(pool1); });
     for (int w = 1; w <= max_workers; w *= 2) {
       tb::rt::ForkJoinPool pool(w);
-      const double t_scalar = tbench::time_best([&] { (void)b->run_cilk(pool); }, 1);
+      const double t_scalar =
+          rep.add_timed(rep.make(b->name(), "measured:sweep", "scalar", "-", w), 1,
+                        [&] { (void)b->run_cilk(pool); });
       std::printf("%s,measured,scalar,%d,%.2f\n", b->name().c_str(), w,
                   t1_scalar / t_scalar);
       for (const auto pol : {tb::core::SeqPolicy::Reexp, tb::core::SeqPolicy::Restart}) {
@@ -47,7 +54,10 @@ void run_measured(const tbench::Flags& flags) {
         cfg.layer = tbench::Layer::Simd;
         cfg.pool = &pool;
         cfg.th = b->thresholds(block, std::min<std::size_t>(block, 16));
-        const double t = tbench::time_best([&] { (void)b->run_blocked(cfg); }, 1);
+        const double t =
+            rep.add_timed(rep.make(b->name(), "measured:sweep", tb::core::to_string(pol),
+                                   "simd", w),
+                          1, [&] { (void)b->run_blocked(cfg); });
         std::printf("%s,measured,%s,%d,%.2f\n", b->name().c_str(),
                     tb::core::to_string(pol), w, t1_scalar / t);
       }
@@ -58,7 +68,9 @@ void run_measured(const tbench::Flags& flags) {
         cfg.layer = tbench::Layer::Simd;
         cfg.ideal_workers = w;
         cfg.th = b->thresholds(block, std::min<std::size_t>(block, 16));
-        const double t = tbench::time_best([&] { (void)b->run_blocked(cfg); }, 1);
+        const double t =
+            rep.add_timed(rep.make(b->name(), "measured:sweep", "ideal", "simd", w), 1,
+                          [&] { (void)b->run_blocked(cfg); });
         std::printf("%s,measured,ideal,%d,%.2f\n", b->name().c_str(), w, t1_scalar / t);
       }
     }
@@ -66,7 +78,7 @@ void run_measured(const tbench::Flags& flags) {
 }
 
 template <class Prog>
-void simulate_bench(const std::string& name, const Prog& prog,
+void simulate_bench(tbench::Reporter& rep, const std::string& name, const Prog& prog,
                     std::span<const typename Prog::Task> roots, int q, int max_workers,
                     std::size_t block, bool call_leaf = false) {
   auto mat = tb::sim::materialize(prog, roots, 64u << 20, call_leaf);
@@ -89,13 +101,16 @@ void simulate_bench(const std::string& name, const Prog& prog,
       cfg.t_restart = std::min<std::size_t>(block, 16);
       cfg.policy = pol;
       const auto res = tb::sim::simulate(mat.tree, cfg, mat.roots);
+      const double speedup = t1 / static_cast<double>(res.makespan);
       std::printf("%s,simulated,%s,%d,%.2f\n", name.c_str(), tb::sim::to_string(pol), w,
-                  t1 / static_cast<double>(res.makespan));
+                  speedup);
+      rep.add_metric(rep.make(name, "simulated", tb::sim::to_string(pol), "-", w), "speedup",
+                     speedup);
     }
   }
 }
 
-void run_simulated(const tbench::Flags& flags) {
+void run_simulated(const tbench::Flags& flags, tbench::Reporter& rep) {
   const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
   const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 32));
   const std::string filter = flags.get("benchmarks", kFigBenches);
@@ -107,17 +122,17 @@ void run_simulated(const tbench::Flags& flags) {
     const auto g = tb::apps::GraphColInstance::random(sim_scale == "default" ? 19 : 15, 3.0);
     tb::apps::GraphColProgram prog{&g};
     const std::vector roots{tb::apps::GraphColProgram::root()};
-    simulate_bench("graphcol", prog, roots, 4, max_workers, block);
+    simulate_bench(rep, "graphcol", prog, roots, 4, max_workers, block);
   }
   if (tbench::selected(filter, "uts")) {
     tb::apps::UtsProgram prog(tb::apps::UtsParams{256, 4, 0.24, 19});
     const auto roots = prog.roots();
-    simulate_bench("uts", prog, roots, 4, max_workers, block);
+    simulate_bench(rep, "uts", prog, roots, 4, max_workers, block);
   }
   if (tbench::selected(filter, "minmax")) {
     tb::apps::MinmaxProgram prog{5};
     const std::vector roots{tb::apps::MinmaxProgram::root()};
-    simulate_bench("minmax", prog, roots, 8, max_workers, block);
+    simulate_bench(rep, "minmax", prog, roots, 8, max_workers, block);
   }
   if (tbench::selected(filter, "barneshut")) {
     const auto bodies = tb::spatial::Bodies::plummer(3000);
@@ -125,14 +140,14 @@ void run_simulated(const tbench::Flags& flags) {
     std::vector<float> fx(bodies.size()), fy(bodies.size()), fz(bodies.size());
     tb::apps::BarnesHutProgram prog{&bodies, &tree, fx.data(), fy.data(), fz.data()};
     const auto roots = prog.roots(0.5f);
-    simulate_bench("barneshut", prog, roots, 8, max_workers, block);
+    simulate_bench(rep, "barneshut", prog, roots, 8, max_workers, block);
   }
   if (tbench::selected(filter, "pointcorr")) {
     const auto pts = tb::spatial::Bodies::uniform_cube(3000);
     const auto tree = tb::spatial::KdTree::build(pts, 16);
     tb::apps::PointCorrProgram prog{&pts, &tree, 0.05f};
     const auto roots = prog.roots();
-    simulate_bench("pointcorr", prog, roots, 8, max_workers, block);
+    simulate_bench(rep, "pointcorr", prog, roots, 8, max_workers, block);
   }
   if (tbench::selected(filter, "knn")) {
     const auto pts = tb::spatial::Bodies::uniform_cube(3000);
@@ -140,7 +155,7 @@ void run_simulated(const tbench::Flags& flags) {
     tb::apps::KnnState state(pts.size(), 4);
     tb::apps::KnnProgram prog{&pts, &tree, &state};
     const auto roots = prog.roots();
-    simulate_bench("knn", prog, roots, 8, max_workers, block, /*call_leaf=*/true);
+    simulate_bench(rep, "knn", prog, roots, 8, max_workers, block, /*call_leaf=*/true);
   }
 }
 
@@ -149,14 +164,15 @@ void run_simulated(const tbench::Flags& flags) {
 int main(int argc, char** argv) {
   tbench::Flags flags(argc, argv);
   const std::string mode = flags.get("mode", "both");
+  tbench::Reporter rep("fig5_scalability", flags);
   std::printf("benchmark,mode,policy,workers,speedup\n");
-  if (mode == "simulated" || mode == "both") run_simulated(flags);
-  if (mode == "measured" || mode == "both") run_measured(flags);
+  if (mode == "simulated" || mode == "both") run_simulated(flags, rep);
+  if (mode == "measured" || mode == "both") run_measured(flags, rep);
   if (mode == "both") {
     std::printf(
         "# simulated: §4 cost model on P virtual cores (shape of paper Fig. 5).\n"
         "# measured: wall clock on this host (%u hardware thread(s)).\n",
         std::thread::hardware_concurrency());
   }
-  return 0;
+  return rep.finish();
 }

@@ -2,10 +2,18 @@
 // streaming compaction, SoA block appends, block kernel expansion, and the
 // fork-join pool's spawn/sync overhead (what makes T1 >> Ts for fine
 // kernels, §7.1).
+//
+// The custom main wraps Google Benchmark so this driver speaks the same
+// --format=json --out= protocol as the rest of bench/: every run is also
+// captured as a taskbatch Result record (seconds per iteration).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
+
+#include "bench/support/report.hpp"
 
 #include "apps/fib.hpp"
 #include "core/program.hpp"
@@ -137,6 +145,46 @@ void BM_Splitmix(benchmark::State& state) {
 }
 BENCHMARK(BM_Splitmix);
 
+// Console output as usual, plus capture of every run into the Reporter.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit CapturingReporter(tbench::Reporter* rep) : rep_(rep) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      tbench::Result r = rep_->make(run.benchmark_name(), "gbench");
+      r.reps = 1;
+      r.seconds_best = run.real_accumulated_time / static_cast<double>(run.iterations);
+      r.seconds_all = {r.seconds_best};
+      rep_->add(r);
+    }
+  }
+
+private:
+  tbench::Reporter* rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const tbench::Flags flags(argc, argv);
+  // Strip the reporter's flags before Google Benchmark sees (and rejects)
+  // unrecognized arguments.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--format=", 9) == 0 ||
+        std::strncmp(argv[i], "--out=", 6) == 0 || std::strcmp(argv[i], "--format") == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  tbench::Reporter rep("micro_substrates", flags);
+  CapturingReporter console(&rep);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return rep.finish();
+}

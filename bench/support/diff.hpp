@@ -1,0 +1,88 @@
+// Join + delta logic behind tools/bench_diff, kept header-side so the unit
+// suite can exercise it without shelling out.
+//
+// Records from two documents are joined on Result::key().  Each matched
+// pair gets a *normalized* ratio — next/base for lower-is-better units,
+// base/next for higher-is-better — so ratio > 1 always means "worse than
+// baseline" and one threshold gates every unit.  The geomean of normalized
+// ratios summarizes the whole document the way Table 2 summarizes the
+// suite.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/support/report.hpp"
+
+namespace tbench {
+
+struct DiffEntry {
+  Result base;
+  Result next;
+  double ratio = 1.0;      // normalized: > 1 is worse than baseline
+  double delta_pct = 0.0;  // (ratio - 1) * 100
+  bool regressed = false;
+  bool digest_mismatch = false;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> matched;   // sorted worst-first
+  std::vector<Result> only_base;    // present in baseline, missing in next
+  std::vector<Result> only_next;    // new records with no baseline
+  double geomean_ratio = 1.0;       // of matched normalized ratios
+  int regressions = 0;
+  int digest_mismatches = 0;
+};
+
+// `units` is a comma-separated filter ("" = all): records whose unit is not
+// listed are ignored on both sides.
+inline DiffReport diff_results(const std::vector<Result>& base,
+                               const std::vector<Result>& next, double threshold_pct,
+                               const std::string& units = "") {
+  const auto wanted = [&](const Result& r) { return selected(units, r.unit); };
+
+  DiffReport rep;
+  std::map<std::string, const Result*> next_by_key;
+  for (const auto& r : next) {
+    if (wanted(r)) next_by_key.emplace(r.key(), &r);  // first occurrence wins
+  }
+
+  std::set<std::string> used;
+  std::vector<double> ratios;
+  for (const auto& b : base) {
+    if (!wanted(b)) continue;
+    const auto it = next_by_key.find(b.key());
+    if (it == next_by_key.end()) {
+      rep.only_base.push_back(b);
+      continue;
+    }
+    used.insert(b.key());
+    const Result& n = *it->second;
+    const double vb = std::max(b.seconds_best, 1e-12);
+    const double vn = std::max(n.seconds_best, 1e-12);
+    DiffEntry e;
+    e.base = b;
+    e.next = n;
+    e.ratio = b.lower_is_better() ? vn / vb : vb / vn;
+    e.delta_pct = (e.ratio - 1.0) * 100.0;
+    e.regressed = e.ratio > 1.0 + threshold_pct / 100.0;
+    e.digest_mismatch = !b.digest.empty() && !n.digest.empty() && b.digest != n.digest;
+    rep.regressions += e.regressed ? 1 : 0;
+    rep.digest_mismatches += e.digest_mismatch ? 1 : 0;
+    ratios.push_back(e.ratio);
+    rep.matched.push_back(std::move(e));
+  }
+  for (const auto& n : next) {
+    if (wanted(n) && used.count(n.key()) == 0) rep.only_next.push_back(n);
+  }
+
+  rep.geomean_ratio = ratios.empty() ? 1.0 : geomean(ratios);
+  std::sort(rep.matched.begin(), rep.matched.end(),
+            [](const DiffEntry& a, const DiffEntry& b) { return a.ratio > b.ratio; });
+  return rep;
+}
+
+}  // namespace tbench

@@ -1,0 +1,82 @@
+// --key=value flag parsing shared by every bench driver and the tools/ CLIs.
+//
+// Grammar: `--key=value` sets key; a bare `--flag` sets it to "1"; anything
+// not starting with "--" is collected as a positional argument (bench_diff's
+// two input files).  Repeated keys: the LAST occurrence wins, so wrapper
+// scripts can append overrides to a fixed base command line.  The numeric
+// getters parse strictly and fall back to the caller's default on malformed
+// input instead of throwing mid-benchmark.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tbench {
+
+class Flags {
+public:
+  Flags() = default;
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.emplace_back(a);
+        continue;
+      }
+      a.remove_prefix(2);
+      const auto eq = a.find('=');
+      if (eq == std::string_view::npos) {
+        kv_.emplace_back(std::string(a), "1");
+      } else {
+        kv_.emplace_back(std::string(a.substr(0, eq)), std::string(a.substr(eq + 1)));
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& def = "") const {
+    for (auto it = kv_.rbegin(); it != kv_.rend(); ++it) {
+      if (it->first == key) return it->second;
+    }
+    return def;
+  }
+  long get_int(const std::string& key, long def) const {
+    const auto v = get(key);
+    if (v.empty()) return def;
+    char* end = nullptr;
+    const long parsed = std::strtol(v.c_str(), &end, 10);
+    return (end == v.c_str() || *end != '\0') ? def : parsed;
+  }
+  double get_double(const std::string& key, double def) const {
+    const auto v = get(key);
+    if (v.empty()) return def;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    return (end == v.c_str() || *end != '\0') ? def : parsed;
+  }
+  bool has(const std::string& key) const { return !get(key).empty(); }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> positional_;
+};
+
+// True when `name` is in the comma-separated list (or the list is empty).
+inline bool selected(const std::string& list, const std::string& name) {
+  if (list.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto comma = list.find(',', pos);
+    const auto item = list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                  : comma - pos);
+    if (item == name) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace tbench

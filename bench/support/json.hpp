@@ -1,0 +1,379 @@
+// Minimal strict JSON for the bench reporter and tools/bench_diff.
+//
+// Scope: the full JSON value model (null/bool/number/string/array/object)
+// with *ordered* objects (stable, diffable output), a strict recursive-
+// descent parser (rejects trailing garbage, raw control characters, bad
+// escapes; handles \uXXXX including surrogate pairs; depth-limited), and a
+// writer that escapes every control character and emits non-finite numbers
+// as null (JSON has no NaN/Inf).  Errors are std::runtime_error with a byte
+// offset — benchmark results are small, so clarity beats speed here.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+// GCC 12 at -O2/-O3 issues spurious -Warray-bounds warnings ("array
+// subscript 0 is outside array bounds of ... [0]") when vector
+// reallocation of pair<string, Value> is inlined (gcc PR 105762 family).
+// Scoped suppression; popped at end of header.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+namespace tbench::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;
+
+class Value {
+public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(long l) : v_(static_cast<double>(l)) {}
+  Value(long long l) : v_(static_cast<double>(l)) {}
+  Value(unsigned u) : v_(static_cast<double>(u)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(std::string_view s) : v_(std::string(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return checked<bool>("bool"); }
+  double as_double() const { return checked<double>("number"); }
+  long long as_int() const { return static_cast<long long>(checked<double>("number")); }
+  const std::string& as_string() const { return checked<std::string>("string"); }
+  const Array& as_array() const { return checked<Array>("array"); }
+  const Object& as_object() const { return checked<Object>("object"); }
+
+  // Object member lookup (first match); nullptr when absent or not an object.
+  const Value* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : std::get<Object>(v_)) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  // Serialize; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const {
+    std::string out;
+    dump_into(out, indent, 0);
+    return out;
+  }
+
+  static Value parse(std::string_view text);
+
+private:
+  template <class T>
+  const T& checked(const char* what) const {
+    if (const T* p = std::get_if<T>(&v_)) return *p;
+    throw std::runtime_error(std::string("json: value is not a ") + what);
+  }
+
+  void dump_into(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+// ---- writer -----------------------------------------------------------------------
+
+inline void escape_into(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+inline void number_into(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // strict JSON: no NaN/Inf literals
+    return;
+  }
+  // Integral values print as integers (stable across round-trips and easy
+  // to read in baselines); everything else gets a round-trip-exact %.17g.
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (d == std::floor(d) && std::abs(d) < kMaxExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+inline void Value::dump_into(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    number_into(out, as_double());
+  } else if (is_string()) {
+    escape_into(out, as_string());
+  } else if (is_array()) {
+    const Array& a = as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) out.push_back(',');
+      newline(depth + 1);
+      a[i].dump_into(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back(']');
+  } else {
+    const Object& o = as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i) out.push_back(',');
+      newline(depth + 1);
+      escape_into(out, o[i].first);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      o[i].second.dump_into(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back('}');
+  }
+}
+
+// ---- parser -----------------------------------------------------------------------
+
+namespace detail {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at byte " + std::to_string(i) + ": " + why);
+  }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+  char peek() const {
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  bool consume(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+  void literal(std::string_view lit) {
+    if (s.substr(i, lit.size()) != lit) fail("bad literal");
+    i += lit.size();
+  }
+
+  Value parse_value() {
+    if (++depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    Value v;
+    switch (peek()) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"': v = Value(parse_string()); break;
+      case 't': literal("true"); v = Value(true); break;
+      case 'f': literal("false"); v = Value(false); break;
+      case 'n': literal("null"); v = Value(nullptr); break;
+      default: v = parse_number(); break;
+    }
+    --depth;
+    return v;
+  }
+
+  Value parse_number() {
+    const std::size_t start = i;
+    const auto num_char = [](char c) {
+      return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+             c == 'E';
+    };
+    while (i < s.size() && num_char(s[i])) ++i;
+    const std::string num(s.substr(start, i - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (num.empty() || end != num.c_str() + num.size()) fail("bad number");
+    return Value(d);
+  }
+
+  unsigned parse_hex4() {
+    if (i + 4 > s.size()) fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = s[i++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u digit");
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i >= s.size()) fail("unterminated string");
+      const char c = s[i++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i >= s.size()) fail("truncated escape");
+      const char e = s[i++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!(consume('\\') && consume('u'))) fail("unpaired high surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (consume(']')) return Value(std::move(a));
+    while (true) {
+      a.push_back(parse_value());
+      skip_ws();
+      if (consume(']')) break;
+      expect(',');
+    }
+    return Value(std::move(a));
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (consume('}')) return Value(std::move(o));
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (consume('}')) break;
+      expect(',');
+    }
+    return Value(std::move(o));
+  }
+};
+
+}  // namespace detail
+
+inline Value Value::parse(std::string_view text) {
+  detail::Parser p{text};
+  Value v = p.parse_value();
+  p.skip_ws();
+  if (p.i != text.size()) p.fail("trailing garbage after document");
+  return v;
+}
+
+}  // namespace tbench::json
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

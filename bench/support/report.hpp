@@ -1,0 +1,293 @@
+// Structured benchmark results (schema "taskbatch-bench-results", v1).
+//
+// Every bench driver funnels its measurements through a Reporter: the
+// human-readable table keeps printing exactly as before, and with
+// `--format=json [--out=<path>]` the driver additionally emits a
+// schema-versioned JSON document — a metadata header (driver, scale, host,
+// compiler, commit, timestamp) plus one Result record per measurement.
+// tools/bench_diff joins two such documents on Result::key() and gates perf
+// regressions; bench/baselines/ holds checked-in reference documents.
+//
+// Units: a record's `unit` says what seconds_best measures and which
+// direction is better.  "seconds" (wall time), "steps"/"frames"/"tasks"/
+// "count" (scheduler accounting) are lower-is-better; "utilization",
+// "ratio", "speedup", "occupancy" are higher-is-better.  Deterministic
+// metrics (Fig 4 utilization, simulator makespans) diff exactly; wall times
+// carry host noise and are gated via ratio-unit records where possible.
+#pragma once
+
+#include <cstdio>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if __has_include(<sys/utsname.h>)
+#include <sys/utsname.h>
+#define TBENCH_HAS_UTSNAME 1
+#endif
+
+#include "bench/support/flags.hpp"
+#include "bench/support/json.hpp"
+#include "bench/support/timing.hpp"
+
+// Configure-time git commit, injected by CMake (taskbatch_buildinfo); stale
+// until the next reconfigure, so it is best-effort metadata, not identity.
+#ifndef TASKBATCH_GIT_COMMIT
+#define TASKBATCH_GIT_COMMIT "unknown"
+#endif
+
+// Same GCC 12 -Warray-bounds false positive as json.hpp: the Object/Array
+// emplace_back calls in to_json()/document() trip it when inlined at -O3.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+namespace tbench {
+
+inline constexpr const char* kResultSchema = "taskbatch-bench-results";
+inline constexpr int kResultSchemaVersion = 1;
+
+struct Result {
+  std::string benchmark;  // e.g. "fib", or a tree-family name for simulators
+  std::string variant;    // driver-specific rung: "seq", "cilk", "blocked", "block=32", ...
+  std::string policy;     // "reexp" / "restart" / "basic" / "scalar" / "-"
+  std::string layer;      // "block" / "soa" / "simd" / "-"
+  int workers = 0;        // 0 = sequential scheduler / not applicable
+  std::string scale;      // "test" / "default" / "paper" / "-"
+  int reps = 1;
+  double seconds_best = 0.0;        // best observed value, in `unit`
+  std::vector<double> seconds_all;  // every rep, in run order
+  std::string digest;               // result digest ("" when the driver has none)
+  std::string unit = "seconds";
+
+  bool lower_is_better() const {
+    return !(unit == "utilization" || unit == "ratio" || unit == "speedup" ||
+             unit == "occupancy");
+  }
+  // Identity for joining two result files (everything but the measurements).
+  std::string key() const {
+    return benchmark + "|" + variant + "|" + policy + "|" + layer + "|" +
+           std::to_string(workers) + "|" + scale + "|" + unit;
+  }
+  friend bool operator==(const Result&, const Result&) = default;
+};
+
+inline json::Value to_json(const Result& r) {
+  json::Array all;
+  all.reserve(r.seconds_all.size());
+  for (const double t : r.seconds_all) all.emplace_back(t);
+  json::Object o;
+  o.emplace_back("benchmark", r.benchmark);
+  o.emplace_back("variant", r.variant);
+  o.emplace_back("policy", r.policy);
+  o.emplace_back("layer", r.layer);
+  o.emplace_back("workers", r.workers);
+  o.emplace_back("scale", r.scale);
+  o.emplace_back("reps", r.reps);
+  o.emplace_back("seconds_best", r.seconds_best);
+  o.emplace_back("seconds_all", std::move(all));
+  o.emplace_back("digest", r.digest);
+  o.emplace_back("unit", r.unit);
+  return json::Value(std::move(o));
+}
+
+namespace detail {
+
+inline const json::Value& require(const json::Value& v, std::string_view key) {
+  const json::Value* p = v.find(key);
+  if (p == nullptr) {
+    throw std::runtime_error("result record missing field \"" + std::string(key) + "\"");
+  }
+  return *p;
+}
+
+}  // namespace detail
+
+// Throws std::runtime_error on schema violations.
+inline Result result_from_json(const json::Value& v) {
+  if (!v.is_object()) throw std::runtime_error("result record is not an object");
+  Result r;
+  r.benchmark = detail::require(v, "benchmark").as_string();
+  r.variant = detail::require(v, "variant").as_string();
+  r.policy = detail::require(v, "policy").as_string();
+  r.layer = detail::require(v, "layer").as_string();
+  r.workers = static_cast<int>(detail::require(v, "workers").as_int());
+  r.scale = detail::require(v, "scale").as_string();
+  r.reps = static_cast<int>(detail::require(v, "reps").as_int());
+  r.seconds_best = detail::require(v, "seconds_best").as_double();
+  for (const auto& t : detail::require(v, "seconds_all").as_array()) {
+    r.seconds_all.push_back(t.as_double());
+  }
+  r.digest = detail::require(v, "digest").as_string();
+  if (const json::Value* u = v.find("unit")) r.unit = u->as_string();
+  return r;
+}
+
+struct Document {
+  std::string driver;
+  std::string scale;
+  std::vector<Result> records;
+};
+
+// Parses and validates a full results document (as written by Reporter).
+inline Document document_from_json(const json::Value& v) {
+  if (!v.is_object()) throw std::runtime_error("results document is not an object");
+  const std::string schema = detail::require(v, "schema").as_string();
+  if (schema != kResultSchema) {
+    throw std::runtime_error("unexpected schema \"" + schema + "\"");
+  }
+  const auto version = detail::require(v, "schema_version").as_int();
+  if (version > kResultSchemaVersion) {
+    throw std::runtime_error("schema_version " + std::to_string(version) +
+                             " is newer than this reader (" +
+                             std::to_string(kResultSchemaVersion) + ")");
+  }
+  Document doc;
+  doc.driver = detail::require(v, "driver").as_string();
+  if (const json::Value* s = v.find("scale")) doc.scale = s->as_string();
+  for (const auto& rec : detail::require(v, "records").as_array()) {
+    doc.records.push_back(result_from_json(rec));
+  }
+  return doc;
+}
+
+class Reporter {
+public:
+  Reporter(std::string driver, const Flags& flags)
+      : driver_(std::move(driver)),
+        scale_(flags.get("scale", "default")),
+        format_(flags.get("format", "table")),
+        out_path_(flags.get("out")) {}
+
+  bool json_enabled() const { return format_ == "json"; }
+  const std::string& scale() const { return scale_; }
+
+  // A record pre-filled with this run's scale; callers fill the rest.
+  Result make(std::string benchmark, std::string variant, std::string policy = "-",
+              std::string layer = "-", int workers = 0) const {
+    Result r;
+    r.benchmark = std::move(benchmark);
+    r.variant = std::move(variant);
+    r.policy = std::move(policy);
+    r.layer = std::move(layer);
+    r.workers = workers;
+    r.scale = scale_;
+    return r;
+  }
+
+  void add(Result r) { records_.push_back(std::move(r)); }
+
+  // Times fn best-of-reps, records the Result, returns the best time — the
+  // drop-in replacement for bare time_best() calls in the drivers.
+  template <class F>
+  double add_timed(Result proto, int reps, F&& fn) {
+    proto.seconds_all = time_reps(fn, reps);
+    proto.reps = reps;
+    proto.seconds_best = best_of(proto.seconds_all);
+    proto.unit = "seconds";
+    const double best = proto.seconds_best;
+    add(std::move(proto));
+    return best;
+  }
+
+  // Patches the digest of the most recently added record with the digest the
+  // workload actually computed — add_timed runs the workload inside itself,
+  // so the result digest exists only afterwards.  Recording the *actual*
+  // digest (never the expected one) is what lets bench_diff's digest gate
+  // catch a scheduler change that produces wrong answers.
+  void set_last_digest(std::string digest) {
+    if (!records_.empty()) records_.back().digest = std::move(digest);
+  }
+
+  // Records a deterministic (non-timed) metric, e.g. SIMD utilization or a
+  // simulator makespan.
+  void add_metric(Result proto, std::string unit, double value) {
+    proto.unit = std::move(unit);
+    proto.reps = 1;
+    proto.seconds_best = value;
+    proto.seconds_all = {value};
+    add(std::move(proto));
+  }
+
+  const std::vector<Result>& records() const { return records_; }
+
+  json::Value document() const {
+    json::Object host;
+#ifdef TBENCH_HAS_UTSNAME
+    struct utsname u {};
+    if (uname(&u) == 0) {
+      host.emplace_back("os", std::string(u.sysname) + " " + u.release);
+      host.emplace_back("machine", std::string(u.machine));
+    }
+#endif
+    host.emplace_back("hardware_threads",
+                      static_cast<int>(std::thread::hardware_concurrency()));
+
+    json::Object build;
+#if defined(__clang__)
+    build.emplace_back("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+    build.emplace_back("compiler", std::string("gcc ") + __VERSION__);
+#else
+    build.emplace_back("compiler", "unknown");
+#endif
+    build.emplace_back("commit", TASKBATCH_GIT_COMMIT);
+
+    json::Array records;
+    records.reserve(records_.size());
+    for (const auto& r : records_) records.push_back(to_json(r));
+
+    json::Object doc;
+    doc.emplace_back("schema", kResultSchema);
+    doc.emplace_back("schema_version", kResultSchemaVersion);
+    doc.emplace_back("driver", driver_);
+    doc.emplace_back("scale", scale_);
+    doc.emplace_back("created_unix", static_cast<long long>(std::time(nullptr)));
+    doc.emplace_back("host", std::move(host));
+    doc.emplace_back("build", std::move(build));
+    doc.emplace_back("records", std::move(records));
+    return json::Value(std::move(doc));
+  }
+
+  // Writes the JSON document when --format=json was given; with no --out
+  // (or --out=-) it goes to stdout, after the human table.  Returns the
+  // driver's exit-code contribution: 0 on success or nothing to do, 1 on
+  // I/O failure.
+  int finish() const {
+    if (!json_enabled()) return 0;
+    const std::string text = document().dump(2) + "\n";
+    if (out_path_.empty() || out_path_ == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      return 0;
+    }
+    std::FILE* f = std::fopen(out_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open --out=%s for writing\n", out_path_.c_str());
+      return 1;
+    }
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!ok || !closed) {
+      std::fprintf(stderr, "error: short write to --out=%s\n", out_path_.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+private:
+  std::string driver_;
+  std::string scale_;
+  std::string format_;
+  std::string out_path_;
+  std::vector<Result> records_;
+};
+
+}  // namespace tbench
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -1,0 +1,53 @@
+// Wall-clock timing with repetitions and geometric means.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace tbench {
+
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// All N wall times of `fn`, in run order.
+template <class F>
+std::vector<double> time_reps(F&& fn, int reps) {
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(std::max(reps, 0)));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    all.push_back(t.seconds());
+  }
+  return all;
+}
+
+inline double best_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+// Best-of-N wall time of `fn`.
+template <class F>
+double time_best(F&& fn, int reps = 3) {
+  return best_of(time_reps(fn, reps));
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double lg = 0;
+  for (const double x : xs) lg += std::log(std::max(x, 1e-12));
+  return std::exp(lg / static_cast<double>(xs.size()));
+}
+
+}  // namespace tbench

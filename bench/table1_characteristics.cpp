@@ -6,6 +6,9 @@
 // columns Ts/T1{,x,r} and Ts/TP{,x,r}.  Every run's result digest is
 // verified against the sequential baseline.
 //
+// JSON records: raw "seconds" per rung plus geomean speedup columns as
+// higher-is-better "ratio" records.
+//
 // Flags:
 //   --scale=test|default|paper   problem sizes (default: default)
 //   --workers=N                  "16-worker" column (default: 16, as in the
@@ -14,11 +17,12 @@
 //   --block=N --rb=N             override block / restart-block sizes
 //   --reps=N                     best-of-N timing (default 1)
 //   --no-census                  skip tree census (useful at --scale=paper)
+//   --format=json --out=<path>   machine-readable results
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 
 namespace {
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.get_int("reps", 1));
   const std::string filter = flags.get("benchmarks");
   const bool census = !flags.has("no-census");
+  tbench::Reporter rep("table1_characteristics", flags);
 
   auto suite = tbench::make_suite(scale);
   tb::rt::ForkJoinPool pool1(1);
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
       "Ts/T1", "Ts/T1x", "Ts/T1r", "Ts/TP", "Ts/TPx", "Ts/TPr", "ok");
 
   std::vector<double> g_t1, g_t1x, g_t1r, g_tp, g_tpx, g_tpr;
+  bool all_verified = true;
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name())) continue;
     Row row;
@@ -67,26 +73,50 @@ int main(int argc, char** argv) {
     row.rb = th.t_restart;
     if (census) row.info = b->census();
 
-    std::string expected;
-    row.ts = tbench::time_best([&] { expected = b->run_sequential(); }, reps);
-    auto check = [&](const std::string& got) { row.verified &= (got == expected); };
+    std::string expected, last_got;
+    row.ts = rep.add_timed(rep.make(row.name, "seq"), reps,
+                           [&] { expected = b->run_sequential(); });
+    rep.set_last_digest(expected);
+    auto check = [&](const std::string& got) {
+      row.verified &= (got == expected);
+      last_got = got;
+    };
+    // Records the run's *actual* digest, so bench_diff can flag a
+    // wrong-result run as a digest mismatch.
+    auto timed = [&](tbench::Result proto, auto&& fn) {
+      const double best = rep.add_timed(std::move(proto), reps, fn);
+      rep.set_last_digest(last_got);
+      return best;
+    };
 
-    row.t1 = tbench::time_best([&] { check(b->run_cilk(pool1)); }, reps);
-    row.tp = tbench::time_best([&] { check(b->run_cilk(poolP)); }, reps);
+    row.t1 = timed(rep.make(row.name, "cilk", "-", "-", 1),
+                   [&] { check(b->run_cilk(pool1)); });
+    if (workers != 1) {
+      row.tp = timed(rep.make(row.name, "cilk", "-", "-", workers),
+                     [&] { check(b->run_cilk(poolP)); });
+    } else {
+      // Same configuration as the 1-worker row: recording it would collide
+      // on the identity key and break the zero-delta self-diff.
+      row.tp = tbench::time_best([&] { check(b->run_cilk(poolP)); }, reps);
+    }
 
     tbench::BlockedConfig cfg;
     cfg.th = th;
     cfg.layer = tbench::Layer::Simd;
     cfg.policy = tb::core::SeqPolicy::Reexp;
     cfg.pool = nullptr;
-    row.t1x = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    row.t1x = timed(rep.make(row.name, "blocked", "reexp", "simd", 0),
+                    [&] { check(b->run_blocked(cfg)); });
     cfg.policy = tb::core::SeqPolicy::Restart;
-    row.t1r = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    row.t1r = timed(rep.make(row.name, "blocked", "restart", "simd", 0),
+                    [&] { check(b->run_blocked(cfg)); });
     cfg.pool = &poolP;
     cfg.policy = tb::core::SeqPolicy::Reexp;
-    row.tpx = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    row.tpx = timed(rep.make(row.name, "blocked", "reexp", "simd", workers),
+                    [&] { check(b->run_blocked(cfg)); });
     cfg.policy = tb::core::SeqPolicy::Restart;
-    row.tpr = tbench::time_best([&] { check(b->run_blocked(cfg)); }, reps);
+    row.tpr = timed(rep.make(row.name, "blocked", "restart", "simd", workers),
+                    [&] { check(b->run_blocked(cfg)); });
 
     std::printf(
         "%-12s %-14s %8d %12llu | %9.4f %9.4f %9.4f | %6zu %6zu | %7.2f %7.2f %7.2f | %7.2f "
@@ -102,6 +132,21 @@ int main(int argc, char** argv) {
     g_tp.push_back(safe_div(row.ts, row.tp));
     g_tpx.push_back(safe_div(row.ts, row.tpx));
     g_tpr.push_back(safe_div(row.ts, row.tpr));
+    all_verified &= row.verified;
+  }
+  const struct {
+    const char* policy;
+    int workers;
+    const std::vector<double>* v;
+  } columns[] = {{"-", 1, &g_t1},          {"reexp", 0, &g_t1x}, {"restart", 0, &g_t1r},
+                 {"-", workers, &g_tp},    {"reexp", workers, &g_tpx},
+                 {"restart", workers, &g_tpr}};
+  for (const auto& c : columns) {
+    // --workers=1 collapses the scalar P-worker column onto the 1-worker one.
+    if (workers == 1 && c.v == &g_tp) continue;
+    rep.add_metric(rep.make("geomean", "speedup", c.policy, c.policy[0] == '-' ? "-" : "simd",
+                            c.workers),
+                   "ratio", tbench::geomean(*c.v));
   }
   std::printf(
       "%-12s %-14s %8s %12s | %9s %9s %9s | %6s %6s | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
@@ -113,5 +158,6 @@ int main(int argc, char** argv) {
       "oversubscribed wall-clock here — see fig5_scalability --mode=simulated for the\n"
       "multicore scaling shape under the paper's cost model.\n",
       std::thread::hardware_concurrency());
-  return 0;
+  const int json_rc = rep.finish();
+  return all_verified ? json_rc : 1;
 }

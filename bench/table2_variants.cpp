@@ -7,13 +7,17 @@
 // All speedups are relative to the sequential recursion Ts, exactly as the
 // paper's Table 2 reports.
 //
-// Flags: --scale=, --workers=, --benchmarks=, --reps=
+// JSON records: one "seconds" record per (benchmark × rung) raw timing, and
+// one higher-is-better "ratio" record per geomean speedup cell — the
+// host-normalized numbers the nightly regression gate diffs.
+//
+// Flags: --scale=, --workers=, --benchmarks=, --reps=, --format=json, --out=
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "bench/suite.hpp"
 
 namespace {
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   const int workers = static_cast<int>(flags.get_int("workers", 16));
   const int reps = static_cast<int>(flags.get_int("reps", 1));
   const std::string filter = flags.get("benchmarks");
+  tbench::Reporter rep("table2_variants", flags);
 
   auto suite = tbench::make_suite(scale);
   tb::rt::ForkJoinPool pool1(1);
@@ -46,13 +51,33 @@ int main(int argc, char** argv) {
 
   std::map<VariantKey, std::vector<double>> speedups;
   std::vector<double> scalar1, scalarP;
+  // With --workers=1 the P-worker rows are the same configuration as the
+  // 1-worker rows; recording both would collide on the identity key and
+  // break the zero-delta self-diff contract, so the duplicates are timed
+  // but not recorded.
+  const bool record_p = workers != 1;
+  bool all_ok = true;
 
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name())) continue;
     std::string expected;
-    const double ts = tbench::time_best([&] { expected = b->run_sequential(); }, reps);
-    const double t1 = tbench::time_best([&] { (void)b->run_cilk(pool1); }, reps);
-    const double tp = tbench::time_best([&] { (void)b->run_cilk(poolP); }, reps);
+    const double ts =
+        rep.add_timed(rep.make(b->name(), "seq"), reps, [&] { expected = b->run_sequential(); });
+    rep.set_last_digest(expected);
+    std::string got;
+    const double t1 = rep.add_timed(rep.make(b->name(), "cilk", "-", "-", 1), reps,
+                                    [&] { got = b->run_cilk(pool1); });
+    rep.set_last_digest(got);
+    all_ok &= got == expected;
+    double tp;
+    if (record_p) {
+      tp = rep.add_timed(rep.make(b->name(), "cilk", "-", "-", workers), reps,
+                         [&] { got = b->run_cilk(poolP); });
+      rep.set_last_digest(got);
+      all_ok &= got == expected;
+    } else {
+      tp = tbench::time_best([&] { (void)b->run_cilk(poolP); }, reps);
+    }
     scalar1.push_back(ts / t1);
     scalarP.push_back(ts / tp);
     for (const auto pol : policies) {
@@ -62,15 +87,24 @@ int main(int argc, char** argv) {
         cfg.policy = pol;
         cfg.layer = layer;
         cfg.pool = nullptr;
-        std::string got;
-        const double tv1 = tbench::time_best([&] { got = b->run_blocked(cfg); }, reps);
+        const double tv1 =
+            rep.add_timed(rep.make(b->name(), "blocked", tb::core::to_string(pol),
+                                   tbench::to_string(layer), 0),
+                          reps, [&] { got = b->run_blocked(cfg); });
+        rep.set_last_digest(got);
         if (got != expected) {
+          all_ok = false;
           std::printf("MISMATCH %s %s %s seq\n", b->name().c_str(),
                       tb::core::to_string(pol), tbench::to_string(layer));
         }
         cfg.pool = &poolP;
-        const double tvP = tbench::time_best([&] { got = b->run_blocked(cfg); }, reps);
+        const double tvP =
+            rep.add_timed(rep.make(b->name(), "blocked", tb::core::to_string(pol),
+                                   tbench::to_string(layer), workers),
+                          reps, [&] { got = b->run_blocked(cfg); });
+        rep.set_last_digest(got);
         if (got != expected) {
+          all_ok = false;
           std::printf("MISMATCH %s %s %s par\n", b->name().c_str(),
                       tb::core::to_string(pol), tbench::to_string(layer));
         }
@@ -83,6 +117,26 @@ int main(int argc, char** argv) {
   auto gm = [&](SeqPolicy p, Layer l, bool par) {
     return tbench::geomean(speedups[{p, l, par}]);
   };
+  // Geomean speedup cells as higher-is-better ratio records: host-normalized,
+  // so the nightly gate diffs these rather than raw wall times.
+  rep.add_metric(rep.make("geomean", "speedup", "-", "-", 1), "ratio",
+                 tbench::geomean(scalar1));
+  if (record_p) {
+    rep.add_metric(rep.make("geomean", "speedup", "-", "-", workers), "ratio",
+                   tbench::geomean(scalarP));
+  }
+  for (const auto pol : policies) {
+    for (const auto layer : layers) {
+      rep.add_metric(rep.make("geomean", "speedup", tb::core::to_string(pol),
+                              tbench::to_string(layer), 1),
+                     "ratio", gm(pol, layer, false));
+      if (record_p) {
+        rep.add_metric(rep.make("geomean", "speedup", tb::core::to_string(pol),
+                                tbench::to_string(layer), workers),
+                       "ratio", gm(pol, layer, true));
+      }
+    }
+  }
 
   std::printf("Table 2: geomean speedup vs Ts (scale=%s, P=%d)\n\n", scale.c_str(), workers);
   std::printf("%-12s %7s | %7s %7s %7s | %7s %7s %7s\n", "", "scalar", "reexp:B", "SOA",
@@ -115,5 +169,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): Block > scalar at 1 worker, SOA >= Block, SIMD >> SOA.\n"
       "Wall-clock scalability on this host reflects %u hardware thread(s).\n",
       std::thread::hardware_concurrency());
-  return 0;
+  const int json_rc = rep.finish();
+  return all_ok ? json_rc : 1;
 }

@@ -2,12 +2,15 @@
 // discrete simulator against the closed-form bounds (Theorems 1–4).
 //
 // Prints one row per (tree family × policy × block size) with the measured
-// value, the bound, and their ratio; ratios should be Θ(1).
+// value, the bound, and their ratio; ratios should be Θ(1).  Step counts
+// and makespans are deterministic, so the JSON records diff exactly.
+//
+// Flags: --q=N (default 8), --format=json, --out=
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/support/report.hpp"
 #include "core/driver.hpp"
 #include "sim/bounds.hpp"
 #include "sim/comp_tree.hpp"
@@ -18,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace tb;
   tbench::Flags flags(argc, argv);
   const int q = static_cast<int>(flags.get_int("q", 8));
+  tbench::Reporter rep("theory_bounds", flags);
 
   struct Family {
     std::string name;
@@ -50,6 +54,9 @@ int main(int argc, char** argv) {
           case core::SeqPolicy::Reexp: bound = sim::theorem2_bound(n, h, k, k, q); break;
           case core::SeqPolicy::Restart: bound = sim::theorem3_bound(n, h, q); break;
         }
+        rep.add_metric(rep.make(f.name, "block=" + std::to_string(block),
+                                core::to_string(pol), "soa"),
+                       "steps", static_cast<double>(st.steps_total));
         std::printf("%-18s %-8s %7zu | %10llu %10.0f %10.0f %7.2f\n", f.name.c_str(),
                     core::to_string(pol), block,
                     static_cast<unsigned long long>(st.steps_total), bound,
@@ -77,6 +84,8 @@ int main(int argc, char** argv) {
       cfg.policy = sim::SimPolicy::Restart;
       const auto res = sim::simulate(f.tree, cfg);
       const double bound = sim::theorem4_bound(n, h, q, p, k);
+      rep.add_metric(rep.make(f.name, "sim:block=128", "restart", "-", p), "steps",
+                     static_cast<double>(res.makespan));
       std::printf("%-18s %3d | %10llu %10.0f %7.2f | %10llu\n", f.name.c_str(), p,
                   static_cast<unsigned long long>(res.makespan), bound,
                   static_cast<double>(res.makespan) / bound,
@@ -85,5 +94,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# Ratios should be Θ(1): bounded above by a modest constant, independent\n"
               "# of tree family, block size (restart), and core count (Theorem 4).\n");
-  return 0;
+  return rep.finish();
 }

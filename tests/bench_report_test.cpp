@@ -1,0 +1,349 @@
+// The bench/support/ reporter library: strict JSON writer/parser, the
+// Result schema round trip, Flags edge cases, geomean corners, and the
+// bench_diff join/delta logic (tools/bench_diff.cpp is a thin shell around
+// tbench::diff_results).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/support/diff.hpp"
+#include "bench/support/flags.hpp"
+#include "bench/support/json.hpp"
+#include "bench/support/report.hpp"
+#include "bench/support/timing.hpp"
+
+// This TU builds json::Object literals inline; see the GCC 12
+// -Warray-bounds note in bench/support/json.hpp.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+namespace {
+
+using tbench::Flags;
+using tbench::Result;
+namespace json = tbench::json;
+
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+// ---- Flags ------------------------------------------------------------------------
+
+TEST(Flags, KeyValueAndBareFlag) {
+  const auto f = make_flags({"--scale=paper", "--csv-only"});
+  EXPECT_EQ(f.get("scale"), "paper");
+  EXPECT_TRUE(f.has("csv-only"));
+  EXPECT_EQ(f.get("csv-only"), "1");
+  EXPECT_FALSE(f.has("absent"));
+  EXPECT_EQ(f.get("absent", "fallback"), "fallback");
+}
+
+TEST(Flags, RepeatedKeyLastWins) {
+  // Wrapper scripts append overrides to a fixed base command line.
+  const auto f = make_flags({"--scale=test", "--workers=2", "--scale=paper"});
+  EXPECT_EQ(f.get("scale"), "paper");
+  EXPECT_EQ(f.get_int("workers", 0), 2);
+}
+
+TEST(Flags, NonNumericValuesFallBackToDefault) {
+  const auto f = make_flags({"--workers=lots", "--threshold=10%", "--reps=3"});
+  EXPECT_EQ(f.get_int("workers", 4), 4);
+  EXPECT_EQ(f.get_double("threshold", 10.0), 10.0);  // trailing junk rejected
+  EXPECT_EQ(f.get_int("reps", 1), 3);
+}
+
+TEST(Flags, EmptyValueBehavesLikeAbsent) {
+  const auto f = make_flags({"--out="});
+  EXPECT_FALSE(f.has("out"));
+  EXPECT_EQ(f.get_int("out", 7), 7);
+}
+
+TEST(Flags, PositionalArgumentsCollectInOrder) {
+  const auto f = make_flags({"base.json", "--threshold=5", "next.json"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "base.json");
+  EXPECT_EQ(f.positional()[1], "next.json");
+  EXPECT_EQ(f.get_double("threshold", 0), 5.0);
+}
+
+// ---- geomean ----------------------------------------------------------------------
+
+TEST(Geomean, EmptyIsZero) { EXPECT_EQ(tbench::geomean({}), 0.0); }
+
+TEST(Geomean, SingletonIsTheValue) {
+  EXPECT_NEAR(tbench::geomean({3.5}), 3.5, 1e-12);
+}
+
+TEST(Geomean, PairIsSqrtOfProduct) {
+  EXPECT_NEAR(tbench::geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Geomean, ZerosAreClampedNotFatal) {
+  EXPECT_GT(tbench::geomean({0.0, 1.0}), 0.0);
+}
+
+// ---- JSON writer ------------------------------------------------------------------
+
+TEST(Json, EscapesControlAndSpecialCharacters) {
+  std::string s;
+  json::escape_into(s, "a\"b\\c\nd\te\x01"
+                       "f");
+  EXPECT_EQ(s, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(json::Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(json::Value(1.0 / 0.0 * 1.0).dump(), "null");
+}
+
+TEST(Json, IntegralNumbersPrintAsIntegers) {
+  EXPECT_EQ(json::Value(3.0).dump(), "3");
+  EXPECT_EQ(json::Value(-17).dump(), "-17");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  json::Object o;
+  o.emplace_back("z", 1);
+  o.emplace_back("a", 2);
+  EXPECT_EQ(json::Value(std::move(o)).dump(), "{\"z\":1,\"a\":2}");
+}
+
+// ---- JSON parser ------------------------------------------------------------------
+
+TEST(Json, ParsesNestedDocument) {
+  const auto v = json::Value::parse(R"(  {"a": [1, 2.5, {"b": null}], "c": false} )");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_double(), 1.0);
+  EXPECT_EQ(a[1].as_double(), 2.5);
+  EXPECT_TRUE(a[2].find("b")->is_null());
+  EXPECT_FALSE(v.find("c")->as_bool());
+}
+
+TEST(Json, StringEscapeRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07 del\x7f";
+  std::string dumped;
+  json::escape_into(dumped, nasty);
+  EXPECT_EQ(json::Value::parse(dumped).as_string(), nasty);
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(json::Value::parse(R"("A")").as_string(), "A");
+  // Surrogate pair: U+1F600 as 4-byte UTF-8.
+  EXPECT_EQ(json::Value::parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(json::Value::parse(R"("\uD83D")"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse(R"("\uDE00")"), std::runtime_error);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("\"raw\ncontrol\""), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("\"bad\\escape\""), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("01a"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse(""), std::runtime_error);
+  EXPECT_THROW(json::Value::parse(std::string(100, '[') + std::string(100, ']')),
+               std::runtime_error);
+}
+
+TEST(Json, NumberRoundTripIsExact) {
+  for (const double d : {0.1234567890123456, 1e-9, 6.02e23, -2.5}) {
+    EXPECT_EQ(json::Value::parse(json::Value(d).dump()).as_double(), d);
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto v = json::Value::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), std::runtime_error);
+  EXPECT_THROW((void)v.as_string(), std::runtime_error);
+  EXPECT_EQ(v.find("x"), nullptr);  // not an object: lookup misses, no throw
+}
+
+// ---- Result schema round trip -----------------------------------------------------
+
+Result sample_result() {
+  Result r;
+  r.benchmark = "fib";
+  r.variant = "blocked";
+  r.policy = "restart";
+  r.layer = "simd";
+  r.workers = 4;
+  r.scale = "test";
+  r.reps = 3;
+  r.seconds_best = 0.125;
+  r.seconds_all = {0.25, 0.125, 0.5};
+  r.digest = "28657";
+  return r;
+}
+
+TEST(ResultSchema, WriteParseIdentical) {
+  const Result r = sample_result();
+  const Result back = tbench::result_from_json(
+      tbench::json::Value::parse(tbench::to_json(r).dump(2)));
+  EXPECT_EQ(back, r);
+}
+
+TEST(ResultSchema, MissingFieldThrows) {
+  auto v = tbench::to_json(sample_result());
+  json::Object o = v.as_object();
+  o.erase(o.begin());  // drop "benchmark"
+  EXPECT_THROW(tbench::result_from_json(json::Value(std::move(o))), std::runtime_error);
+}
+
+TEST(ResultSchema, KeyIsIdentityNotMeasurement) {
+  Result a = sample_result(), b = sample_result();
+  b.seconds_best = 99.0;
+  b.seconds_all = {99.0};
+  EXPECT_EQ(a.key(), b.key());
+  b.workers = 8;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ResultSchema, UnitDirections) {
+  Result r = sample_result();
+  EXPECT_TRUE(r.lower_is_better());
+  r.unit = "steps";
+  EXPECT_TRUE(r.lower_is_better());
+  r.unit = "utilization";
+  EXPECT_FALSE(r.lower_is_better());
+  r.unit = "ratio";
+  EXPECT_FALSE(r.lower_is_better());
+}
+
+TEST(ResultSchema, ReporterDocumentRoundTrip) {
+  const auto flags = make_flags({"--scale=test", "--format=json"});
+  tbench::Reporter rep("bench_report_test", flags);
+  EXPECT_TRUE(rep.json_enabled());
+  rep.add_timed(rep.make("fib", "seq"), 2, [] {});
+  rep.add_metric(rep.make("fib", "block=32", "restart", "soa"), "utilization", 0.75);
+  const auto doc = tbench::document_from_json(
+      tbench::json::Value::parse(rep.document().dump(2)));
+  EXPECT_EQ(doc.driver, "bench_report_test");
+  EXPECT_EQ(doc.scale, "test");
+  ASSERT_EQ(doc.records.size(), 2u);
+  EXPECT_EQ(doc.records, rep.records());
+  EXPECT_EQ(doc.records[1].unit, "utilization");
+  EXPECT_EQ(doc.records[1].seconds_best, 0.75);
+}
+
+TEST(ResultSchema, SetLastDigestPatchesMostRecentRecord) {
+  tbench::Reporter rep("t", make_flags({}));
+  rep.set_last_digest("noop on empty");  // must not crash
+  rep.add_timed(rep.make("a", "v"), 1, [] {});
+  rep.add_timed(rep.make("b", "v"), 1, [] {});
+  rep.set_last_digest("42");
+  ASSERT_EQ(rep.records().size(), 2u);
+  EXPECT_EQ(rep.records()[0].digest, "");
+  EXPECT_EQ(rep.records()[1].digest, "42");
+}
+
+TEST(ResultSchema, NewerSchemaVersionRejected) {
+  json::Object doc;
+  doc.emplace_back("schema", tbench::kResultSchema);
+  doc.emplace_back("schema_version", tbench::kResultSchemaVersion + 1);
+  doc.emplace_back("driver", "future");
+  doc.emplace_back("records", json::Array{});
+  EXPECT_THROW(tbench::document_from_json(json::Value(std::move(doc))),
+               std::runtime_error);
+}
+
+// ---- diff logic -------------------------------------------------------------------
+
+Result rec(const std::string& bench, double value, const std::string& unit = "seconds") {
+  Result r;
+  r.benchmark = bench;
+  r.variant = "v";
+  r.policy = "-";
+  r.layer = "-";
+  r.scale = "test";
+  r.seconds_best = value;
+  r.seconds_all = {value};
+  r.unit = unit;
+  return r;
+}
+
+TEST(Diff, SelfDiffIsZeroDelta) {
+  const std::vector<Result> base = {rec("a", 1.0), rec("b", 2.0)};
+  const auto d = tbench::diff_results(base, base, 10.0);
+  EXPECT_EQ(d.regressions, 0);
+  EXPECT_EQ(d.matched.size(), 2u);
+  EXPECT_NEAR(d.geomean_ratio, 1.0, 1e-12);
+  EXPECT_TRUE(d.only_base.empty());
+  EXPECT_TRUE(d.only_next.empty());
+}
+
+TEST(Diff, RegressionBeyondThresholdFlagged) {
+  const auto d = tbench::diff_results({rec("a", 1.0)}, {rec("a", 1.2)}, 10.0);
+  ASSERT_EQ(d.matched.size(), 1u);
+  EXPECT_TRUE(d.matched[0].regressed);
+  EXPECT_NEAR(d.matched[0].delta_pct, 20.0, 1e-9);
+  EXPECT_EQ(d.regressions, 1);
+}
+
+TEST(Diff, ImprovementAndWithinThresholdPass) {
+  const auto d =
+      tbench::diff_results({rec("a", 1.0), rec("b", 1.0)}, {rec("a", 0.5), rec("b", 1.05)},
+                           10.0);
+  EXPECT_EQ(d.regressions, 0);
+}
+
+TEST(Diff, HigherIsBetterUnitsNormalize) {
+  // Utilization dropping 0.9 -> 0.7 is a ~28.6% regression, not an improvement.
+  const auto d = tbench::diff_results({rec("a", 0.9, "utilization")},
+                                      {rec("a", 0.7, "utilization")}, 10.0);
+  ASSERT_EQ(d.matched.size(), 1u);
+  EXPECT_TRUE(d.matched[0].regressed);
+  EXPECT_GT(d.matched[0].delta_pct, 20.0);
+  // And rising utilization is an improvement.
+  const auto up = tbench::diff_results({rec("a", 0.7, "utilization")},
+                                       {rec("a", 0.9, "utilization")}, 10.0);
+  EXPECT_EQ(up.regressions, 0);
+  EXPECT_LT(up.matched[0].ratio, 1.0);
+}
+
+TEST(Diff, MissingAndNewRecordsReported) {
+  const auto d = tbench::diff_results({rec("a", 1.0), rec("gone", 1.0)},
+                                      {rec("a", 1.0), rec("new", 1.0)}, 10.0);
+  ASSERT_EQ(d.only_base.size(), 1u);
+  EXPECT_EQ(d.only_base[0].benchmark, "gone");
+  ASSERT_EQ(d.only_next.size(), 1u);
+  EXPECT_EQ(d.only_next[0].benchmark, "new");
+  EXPECT_EQ(d.regressions, 0);
+}
+
+TEST(Diff, UnitsFilterRestrictsComparison) {
+  const std::vector<Result> base = {rec("a", 1.0), rec("u", 0.9, "utilization")};
+  const std::vector<Result> next = {rec("a", 99.0), rec("u", 0.9, "utilization")};
+  const auto d = tbench::diff_results(base, next, 10.0, "utilization");
+  EXPECT_EQ(d.matched.size(), 1u);  // the seconds regression is filtered out
+  EXPECT_EQ(d.regressions, 0);
+}
+
+TEST(Diff, DigestMismatchDetected) {
+  auto a = rec("a", 1.0);
+  a.digest = "x";
+  auto b = rec("a", 1.0);
+  b.digest = "y";
+  const auto d = tbench::diff_results({a}, {b}, 10.0);
+  EXPECT_EQ(d.digest_mismatches, 1);
+  ASSERT_EQ(d.matched.size(), 1u);
+  EXPECT_TRUE(d.matched[0].digest_mismatch);
+}
+
+TEST(Diff, SortedWorstFirst) {
+  const auto d = tbench::diff_results({rec("a", 1.0), rec("b", 1.0), rec("c", 1.0)},
+                                      {rec("a", 1.1), rec("b", 2.0), rec("c", 0.4)}, 50.0);
+  ASSERT_EQ(d.matched.size(), 3u);
+  EXPECT_EQ(d.matched[0].base.benchmark, "b");
+  EXPECT_EQ(d.matched[2].base.benchmark, "c");
+}
+
+}  // namespace

@@ -14,15 +14,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "apps/fib.hpp"
-#include "apps/knapsack.hpp"
-#include "apps/nqueens.hpp"
 #include "apps/parentheses.hpp"
 #include "core/driver.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
@@ -30,59 +28,14 @@ using namespace tb;
 using core::ExecStats;
 using core::SeqPolicy;
 using core::Thresholds;
-
-// Run one kernel at one block size under one policy; return the stats.
-// Recovery thresholds are pinned to the block size (t_bfe = t_restart =
-// t_dfe — the k1 ≈ k, k2 ≈ k setting §4 recommends and Fig 4 sweeps), so
-// both policies hunt for density equally aggressively.
-template <class Exec>
-ExecStats run_stats(const typename Exec::Program& p,
-                    const std::vector<typename Exec::Program::Task>& roots, SeqPolicy policy,
-                    std::size_t block) {
-  ExecStats st;
-  Thresholds th = Thresholds::for_block_size(/*q=*/8, block, /*restart=*/block);
-  (void)core::run_seq<Exec>(p, roots, policy, th, &st);
-  return st;
-}
-
-struct Kernel {
-  std::string name;
-  // Type-erased runner: policy × block -> stats.
-  std::function<ExecStats(SeqPolicy, std::size_t)> run;
-};
-
-std::vector<Kernel> make_kernels() {
-  std::vector<Kernel> ks;
-  ks.push_back({"fib", [](SeqPolicy pol, std::size_t blk) {
-                  static const apps::FibProgram prog;
-                  static const std::vector roots{apps::FibProgram::root(24)};
-                  return run_stats<core::SoaExec<apps::FibProgram>>(prog, roots, pol, blk);
-                }});
-  ks.push_back({"parentheses", [](SeqPolicy pol, std::size_t blk) {
-                  static const apps::ParenthesesProgram prog;
-                  static const std::vector roots{apps::ParenthesesProgram::root(11)};
-                  return run_stats<core::SoaExec<apps::ParenthesesProgram>>(prog, roots, pol,
-                                                                            blk);
-                }});
-  ks.push_back({"knapsack", [](SeqPolicy pol, std::size_t blk) {
-                  static const auto inst = apps::KnapsackInstance::random(20, 3);
-                  static const apps::KnapsackProgram prog{&inst};
-                  static const std::vector roots{prog.root()};
-                  return run_stats<core::SoaExec<apps::KnapsackProgram>>(prog, roots, pol, blk);
-                }});
-  ks.push_back({"nqueens", [](SeqPolicy pol, std::size_t blk) {
-                  static const apps::NQueensProgram prog{10};
-                  static const std::vector roots{apps::NQueensProgram::root()};
-                  return run_stats<core::SoaExec<apps::NQueensProgram>>(prog, roots, pol, blk);
-                }});
-  return ks;
-}
+using tbtest::StatsKernel;
+using tbtest::stats_kernels;
 
 class Fig4Shape : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(Fig4Shape, RestartUtilizationMatchesOrBeatsReexpAtSmallBlocks) {
   const std::size_t block = GetParam();
-  for (const Kernel& k : make_kernels()) {
+  for (const StatsKernel& k : stats_kernels()) {
     const double u_reexp = k.run(SeqPolicy::Reexp, block).simd_utilization();
     const double u_restart = k.run(SeqPolicy::Restart, block).simd_utilization();
     // Paper: "at each block size restart matches or exceeds the SIMD
@@ -100,7 +53,7 @@ INSTANTIATE_TEST_SUITE_P(SmallBlocks, Fig4Shape, ::testing::Values(8u, 16u, 32u,
                          });
 
 TEST(Fig4Shape, UtilizationGrowsWithBlockSize) {
-  for (const Kernel& k : make_kernels()) {
+  for (const StatsKernel& k : stats_kernels()) {
     for (const auto policy : {SeqPolicy::Reexp, SeqPolicy::Restart}) {
       const double u_small = k.run(policy, 4).simd_utilization();
       const double u_large = k.run(policy, 4096).simd_utilization();
@@ -117,7 +70,7 @@ TEST(Fig4Shape, RestartReachesHighUtilizationAtSmallerBlocks) {
   // reexp's by a clear margin on the search kernels.
   double gain = 0;
   int n = 0;
-  for (const Kernel& k : make_kernels()) {
+  for (const StatsKernel& k : stats_kernels()) {
     const double u_reexp = k.run(SeqPolicy::Reexp, 32).simd_utilization();
     const double u_restart = k.run(SeqPolicy::Restart, 32).simd_utilization();
     gain += u_restart - u_reexp;

@@ -12,6 +12,7 @@
 #include "sim/comp_tree.hpp"
 #include "sim/par_sim.hpp"
 #include "sim/tree_program.hpp"
+#include "tests/support/harness.hpp"
 
 namespace {
 
@@ -165,9 +166,9 @@ TEST(Theorems, UtilizationOrderRestartGeBasic) {
 
 TEST(ParSim, ExecutesEveryTaskOnce) {
   const auto tree = CompTree::random_binary(20000, 0.9, 5);
-  for (const auto pol : {SimPolicy::ScalarWS, SimPolicy::Reexp, SimPolicy::Restart}) {
+  tbtest::for_each_sim_policy([&](SimPolicy pol) {
     for (const int p : {1, 2, 4, 8}) {
-      SCOPED_TRACE(std::string(sim::to_string(pol)) + " P=" + std::to_string(p));
+      SCOPED_TRACE("P=" + std::to_string(p));
       SimConfig cfg;
       cfg.p = p;
       cfg.q = 8;
@@ -176,7 +177,7 @@ TEST(ParSim, ExecutesEveryTaskOnce) {
       EXPECT_EQ(res.tasks, tree.num_nodes());
       EXPECT_GT(res.makespan, 0u);
     }
-  }
+  });
 }
 
 TEST(ParSim, ScalarSingleCoreTakesNSteps) {
@@ -229,7 +230,7 @@ TEST(ParSim, RestartSpeedupScalesOnWideTrees) {
 
 TEST(ParSim, ChainHasNoParallelism) {
   const auto tree = CompTree::chain(2000);
-  for (const auto pol : {SimPolicy::ScalarWS, SimPolicy::Restart}) {
+  tbtest::for_each_sim_policy([&](SimPolicy pol) {
     SimConfig c1, c4;
     c1.policy = c4.policy = pol;
     c1.p = 1;
@@ -240,7 +241,7 @@ TEST(ParSim, ChainHasNoParallelism) {
     EXPECT_GE(t4 + 1, static_cast<std::uint64_t>(tree.height));
     EXPECT_NEAR(static_cast<double>(t4), static_cast<double>(t1),
                 0.1 * static_cast<double>(t1));
-  }
+  });
 }
 
 TEST(ParSim, DeterministicForFixedSeed) {

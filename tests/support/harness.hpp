@@ -14,12 +14,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "apps/fib.hpp"
+#include "apps/knapsack.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/parentheses.hpp"
 #include "core/driver.hpp"
 #include "runtime/forkjoin.hpp"
+#include "sim/par_sim.hpp"
 #include "tests/support/rng.hpp"
 
 namespace tbtest {
@@ -28,6 +34,11 @@ namespace tbtest {
 
 inline constexpr tb::core::SeqPolicy kPolicies[] = {
     tb::core::SeqPolicy::Basic, tb::core::SeqPolicy::Reexp, tb::core::SeqPolicy::Restart};
+
+// The discrete multicore simulator's policy axis (sim/par_sim.hpp) — the
+// simulator-side mirror of kPolicies.
+inline constexpr tb::sim::SimPolicy kSimPolicies[] = {
+    tb::sim::SimPolicy::ScalarWS, tb::sim::SimPolicy::Reexp, tb::sim::SimPolicy::Restart};
 
 // Worker counts for the parallel schedulers; 1 pins the degenerate pool, 8
 // oversubscribes typical CI hosts so steals preempt mid-superstep.
@@ -69,6 +80,15 @@ template <class F>
 void for_each_policy(F&& fn) {
   for (const auto pol : kPolicies) {
     SCOPED_TRACE(tb::core::to_string(pol));
+    fn(pol);
+  }
+}
+
+// Same, over the simulator's policy enum.
+template <class F>
+void for_each_sim_policy(F&& fn) {
+  for (const auto pol : kSimPolicies) {
+    SCOPED_TRACE(tb::sim::to_string(pol));
     fn(pol);
   }
 }
@@ -150,6 +170,65 @@ void expect_par_matrix(const Program& prog, std::span<const typename Program::Ta
     EXPECT_EQ((core::run_par_restart<core::SimdExec<Program>>(pool, prog, roots, th)),
               expected);
   }
+}
+
+// ---- stats-kernel table -----------------------------------------------------------
+
+// Type-erased (policy, block size) -> ExecStats runner over a fixed small
+// kernel — the shape-suite sweep unit.  Thresholds pin t_bfe = t_restart =
+// t_dfe (the k1 ≈ k, k2 ≈ k setting §4 recommends and Fig 4 sweeps), so
+// every policy hunts for density equally aggressively.
+struct StatsKernel {
+  std::string name;
+  std::function<tb::core::ExecStats(tb::core::SeqPolicy, std::size_t)> run;
+};
+
+template <class Exec>
+tb::core::ExecStats run_kernel_stats(const typename Exec::Program& p,
+                                     const std::vector<typename Exec::Program::Task>& roots,
+                                     tb::core::SeqPolicy policy, std::size_t block) {
+  tb::core::ExecStats st;
+  const auto th = tb::core::Thresholds::for_block_size(/*q=*/8, block, /*restart=*/block);
+  (void)tb::core::run_seq<Exec>(p, roots, policy, th, &st);
+  return st;
+}
+
+// The four small search kernels the paper-shape regression suite sweeps —
+// shared here so no suite hand-rolls its own kernel table.
+inline const std::vector<StatsKernel>& stats_kernels() {
+  using tb::core::SeqPolicy;
+  static const std::vector<StatsKernel> kKernels = {
+      {"fib",
+       [](SeqPolicy pol, std::size_t blk) {
+         static const tb::apps::FibProgram prog;
+         static const std::vector roots{tb::apps::FibProgram::root(24)};
+         return run_kernel_stats<tb::core::SoaExec<tb::apps::FibProgram>>(prog, roots, pol,
+                                                                          blk);
+       }},
+      {"parentheses",
+       [](SeqPolicy pol, std::size_t blk) {
+         static const tb::apps::ParenthesesProgram prog;
+         static const std::vector roots{tb::apps::ParenthesesProgram::root(11)};
+         return run_kernel_stats<tb::core::SoaExec<tb::apps::ParenthesesProgram>>(prog, roots,
+                                                                                 pol, blk);
+       }},
+      {"knapsack",
+       [](SeqPolicy pol, std::size_t blk) {
+         static const auto inst = tb::apps::KnapsackInstance::random(20, 3);
+         static const tb::apps::KnapsackProgram prog{&inst};
+         static const std::vector roots{prog.root()};
+         return run_kernel_stats<tb::core::SoaExec<tb::apps::KnapsackProgram>>(prog, roots,
+                                                                              pol, blk);
+       }},
+      {"nqueens",
+       [](SeqPolicy pol, std::size_t blk) {
+         static const tb::apps::NQueensProgram prog{10};
+         static const std::vector roots{tb::apps::NQueensProgram::root()};
+         return run_kernel_stats<tb::core::SoaExec<tb::apps::NQueensProgram>>(prog, roots,
+                                                                             pol, blk);
+       }},
+  };
+  return kKernels;
 }
 
 // ---- full scheduler-matrix fixture ------------------------------------------------

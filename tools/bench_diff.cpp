@@ -1,0 +1,107 @@
+// bench_diff — compare two taskbatch bench-result JSON documents.
+//
+// Loads a baseline and a candidate document (as written by any bench driver
+// with --format=json), joins their records on the identity key
+// (benchmark|variant|policy|layer|workers|scale|unit), and reports the
+// per-record and geomean deltas, normalized so +X% always means "X% worse
+// than baseline" regardless of whether the unit is lower-is-better
+// (seconds, steps) or higher-is-better (utilization, ratio, speedup).
+//
+// Usage:
+//   bench_diff [options] <baseline.json> <candidate.json>
+//
+// Options:
+//   --threshold=PCT   per-record + geomean regression gate (default 10)
+//   --units=a,b       only compare records with these units (default: all)
+//   --require-all     also fail when a baseline record is missing from the
+//                     candidate document
+//   --quiet           summary only (no per-record table)
+//
+// Exit codes: 0 no regression; 1 regression (or missing records under
+// --require-all, or any digest mismatch); 2 usage or parse error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench/support/diff.hpp"
+#include "bench/support/flags.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw std::runtime_error("read error on " + path);
+  return text;
+}
+
+tbench::Document load(const std::string& path) {
+  return tbench::document_from_json(tbench::json::Value::parse(read_file(path)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tbench::Flags flags(argc, argv);
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold=PCT] [--units=a,b] [--require-all] "
+                 "[--quiet] <baseline.json> <candidate.json>\n");
+    return 2;
+  }
+  const double threshold = flags.get_double("threshold", 10.0);
+  const std::string units = flags.get("units");
+  const bool require_all = flags.has("require-all");
+  const bool quiet = flags.has("quiet");
+
+  tbench::Document base, next;
+  try {
+    base = load(flags.positional()[0]);
+    next = load(flags.positional()[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  const tbench::DiffReport rep =
+      tbench::diff_results(base.records, next.records, threshold, units);
+
+  if (!quiet) {
+    std::printf("%-64s %6s %12s %12s %9s\n", "record", "unit", "baseline", "candidate",
+                "delta");
+    for (const auto& e : rep.matched) {
+      std::printf("%-64s %6s %12.6g %12.6g %+8.2f%%%s%s\n", e.base.key().c_str(),
+                  e.base.unit.c_str(), e.base.seconds_best, e.next.seconds_best, e.delta_pct,
+                  e.regressed ? "  REGRESSION" : "",
+                  e.digest_mismatch ? "  DIGEST-MISMATCH" : "");
+    }
+    for (const auto& r : rep.only_base) {
+      std::printf("%-64s %6s %12.6g %12s   missing in candidate\n", r.key().c_str(),
+                  r.unit.c_str(), r.seconds_best, "-");
+    }
+    for (const auto& r : rep.only_next) {
+      std::printf("%-64s %6s %12s %12.6g   new (no baseline)\n", r.key().c_str(),
+                  r.unit.c_str(), "-", r.seconds_best);
+    }
+  }
+
+  const bool geomean_regressed = rep.geomean_ratio > 1.0 + threshold / 100.0;
+  std::printf("bench_diff: %s (%s) vs %s (%s): %zu matched, %zu missing, %zu new; "
+              "geomean delta %+.2f%%; %d regression(s) > %.1f%%, %d digest mismatch(es)%s\n",
+              flags.positional()[0].c_str(), base.driver.c_str(),
+              flags.positional()[1].c_str(), next.driver.c_str(), rep.matched.size(),
+              rep.only_base.size(), rep.only_next.size(), (rep.geomean_ratio - 1.0) * 100.0,
+              rep.regressions, threshold,
+              rep.digest_mismatches, geomean_regressed ? "; GEOMEAN REGRESSION" : "");
+
+  if (rep.regressions > 0 || geomean_regressed || rep.digest_mismatches > 0) return 1;
+  if (require_all && !rep.only_base.empty()) return 1;
+  return 0;
+}
