@@ -7,6 +7,9 @@
 //
 //   seq        — plain recursive traversal (Ts)
 //   lockstep   — the prior-work model (single core, masked lanes)
+//   blocked    — the blocked re-expansion traversal engine (this PR's
+//                lockstep/blocked.hpp): dense query blocks, streaming
+//                compaction, masked fallback below t_reexp; single core
 //   taskblock  — this paper: restart policy, SIMD layer, sequential core
 //
 // and reports wall time plus each model's lane-efficiency metric: lockstep
@@ -35,19 +38,22 @@ namespace {
 
 struct Row {
   std::string name;
-  double t_seq, t_lockstep, t_taskblock;
-  double occupancy, utilization;
+  double t_seq, t_lockstep, t_blocked, t_taskblock;
+  double occupancy, blocked_util, utilization;
   bool ok;
 };
 
 void print(tbench::Reporter& rep, const Row& r) {
   rep.add_metric(rep.make(r.name, "lockstep"), "occupancy", r.occupancy);
+  rep.add_metric(rep.make(r.name, "blocked", "-", "simd"), "utilization", r.blocked_util);
   rep.add_metric(rep.make(r.name, "taskblock", "restart", "simd"), "utilization",
                  r.utilization);
-  std::printf("%-10s | %9.4f %9.4f %9.4f | %7.2f %7.2f | %5.1f%% %5.1f%% | %s\n",
-              r.name.c_str(), r.t_seq, r.t_lockstep, r.t_taskblock, r.t_seq / r.t_lockstep,
-              r.t_seq / r.t_taskblock, r.occupancy * 100.0, r.utilization * 100.0,
-              r.ok ? "ok" : "MISMATCH");
+  std::printf(
+      "%-10s | %9.4f %9.4f %9.4f %9.4f | %7.2f %7.2f %7.2f | %5.1f%% %5.1f%% %5.1f%% | %s\n",
+      r.name.c_str(), r.t_seq, r.t_lockstep, r.t_blocked, r.t_taskblock,
+      r.t_seq / r.t_lockstep, r.t_seq / r.t_blocked, r.t_seq / r.t_taskblock,
+      r.occupancy * 100.0, r.blocked_util * 100.0, r.utilization * 100.0,
+      r.ok ? "ok" : "MISMATCH");
 }
 
 }  // namespace
@@ -60,16 +66,18 @@ int main(int argc, char** argv) {
   const std::size_t n_bh = paper ? 1000000 : 20000;
   tbench::Reporter rep("baseline_lockstep", flags);
 
-  std::printf("lockstep (prior-work data-parallel-only) vs task blocks, single core\n");
-  std::printf("%-10s | %9s %9s %9s | %7s %7s | %6s %6s | %s\n", "benchmark", "seq(s)",
-              "lockstep", "taskblk", "Ts/lock", "Ts/tb", "occup", "util", "check");
+  std::printf(
+      "lockstep (prior-work) vs blocked re-expansion engine vs task blocks, single core\n");
+  std::printf("%-10s | %9s %9s %9s %9s | %7s %7s %7s | %6s %6s %6s | %s\n", "benchmark",
+              "seq(s)", "lockstep", "blocked", "taskblk", "Ts/lock", "Ts/blk", "Ts/tb",
+              "occup", "b.util", "util", "check");
 
   {  // point correlation
     const auto pts = tb::spatial::Bodies::uniform_cube(n_pc);
     const auto tree = tb::spatial::KdTree::build(pts, 16);
     const tb::apps::PointCorrProgram prog{&pts, &tree, paper ? 0.01f : 0.02f};
-    Row r{"pointcorr", 0, 0, 0, 0, 0, true};
-    std::uint64_t seq = 0, lock = 0, tblk = 0;
+    Row r{"pointcorr", 0, 0, 0, 0, 0, 0, 0, true};
+    std::uint64_t seq = 0, lock = 0, blk = 0, tblk = 0;
     r.t_seq = rep.add_timed(rep.make("pointcorr", "seq"), 3,
                             [&] { seq = tb::apps::pointcorr_sequential(prog); });
     tb::lockstep::LockstepStats ls;
@@ -77,6 +85,12 @@ int main(int argc, char** argv) {
       ls = {};
       lock = tb::lockstep::lockstep_pointcorr(prog, &ls);
     });
+    tb::core::ExecStats bst;
+    r.t_blocked = rep.add_timed(rep.make("pointcorr", "blocked", "-", "simd"), 3, [&] {
+      bst = {};
+      blk = tb::lockstep::blocked_pointcorr(prog, 32, &bst);
+    });
+    r.blocked_util = bst.simd_utilization();
     const auto roots = prog.roots();
     const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 1024, 128);
     tb::core::ExecStats st;
@@ -89,7 +103,7 @@ int main(int argc, char** argv) {
                                   });
     r.occupancy = ls.occupancy();
     r.utilization = st.simd_utilization();
-    r.ok = seq == lock && seq == tblk;
+    r.ok = seq == lock && seq == blk && seq == tblk;
     print(rep, r);
   }
 
@@ -97,8 +111,8 @@ int main(int argc, char** argv) {
     const auto pts = tb::spatial::Bodies::uniform_cube(n_knn);
     const auto tree = tb::spatial::KdTree::build(pts, 16);
     const int k = 4;
-    Row r{"knn", 0, 0, 0, 0, 0, true};
-    std::string d_seq, d_lock, d_tblk;
+    Row r{"knn", 0, 0, 0, 0, 0, 0, 0, true};
+    std::string d_seq, d_lock, d_blk, d_tblk;
     const auto digest = [&](const tb::apps::KnnState& state) {
       std::uint64_t h = 1469598103934665603ull;
       for (std::int32_t q = 0; q < static_cast<std::int32_t>(pts.size()); ++q) {
@@ -124,6 +138,15 @@ int main(int argc, char** argv) {
       tb::lockstep::lockstep_knn(prog, &ls);
       d_lock = digest(state);
     });
+    tb::core::ExecStats bst;
+    r.t_blocked = rep.add_timed(rep.make("knn", "blocked", "-", "simd"), 3, [&] {
+      bst = {};
+      tb::apps::KnnState state(pts.size(), k);
+      tb::apps::KnnProgram prog{&pts, &tree, &state};
+      tb::lockstep::blocked_knn(prog, 32, &bst);
+      d_blk = digest(state);
+    });
+    r.blocked_util = bst.simd_utilization();
     tb::core::ExecStats st;
     const auto th = tb::core::Thresholds::for_block_size(8, 512, 64);
     r.t_taskblock = rep.add_timed(rep.make("knn", "taskblock", "restart", "simd"), 3, [&] {
@@ -137,7 +160,7 @@ int main(int argc, char** argv) {
     });
     r.occupancy = ls.occupancy();
     r.utilization = st.simd_utilization();
-    r.ok = d_seq == d_lock && d_seq == d_tblk;
+    r.ok = d_seq == d_lock && d_seq == d_blk && d_seq == d_tblk;
     print(rep, r);
   }
 
@@ -152,8 +175,8 @@ int main(int argc, char** argv) {
       std::fill(ay.begin(), ay.end(), 0.0f);
       std::fill(az.begin(), az.end(), 0.0f);
     };
-    Row r{"barneshut", 0, 0, 0, 0, 0, true};
-    std::uint64_t seq = 0, lock = 0, tblk = 0;
+    Row r{"barneshut", 0, 0, 0, 0, 0, 0, 0, true};
+    std::uint64_t seq = 0, lock = 0, blk = 0, tblk = 0;
     r.t_seq = rep.add_timed(rep.make("barneshut", "seq"), 3, [&] {
       reset();
       seq = tb::apps::barneshut_sequential(prog, theta);
@@ -164,6 +187,13 @@ int main(int argc, char** argv) {
       ls = {};
       lock = tb::lockstep::lockstep_barneshut(prog, theta, &ls);
     });
+    tb::core::ExecStats bst;
+    r.t_blocked = rep.add_timed(rep.make("barneshut", "blocked", "-", "simd"), 3, [&] {
+      reset();
+      bst = {};
+      blk = tb::lockstep::blocked_barneshut(prog, theta, 32, &bst);
+    });
+    r.blocked_util = bst.simd_utilization();
     const auto roots = prog.roots(theta);
     const auto th = tb::core::Thresholds::for_block_size(prog.simd_width, 512, 64);
     tb::core::ExecStats st;
@@ -177,7 +207,7 @@ int main(int argc, char** argv) {
                                   });
     r.occupancy = ls.occupancy();
     r.utilization = st.simd_utilization();
-    r.ok = seq == lock && seq == tblk;
+    r.ok = seq == lock && seq == blk && seq == tblk;
     print(rep, r);
   }
   return rep.finish();

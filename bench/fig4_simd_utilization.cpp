@@ -11,6 +11,13 @@
 // Deterministic, so bench_diff gates them exactly — this is the baseline
 // document under bench/baselines/.
 //
+// The traversal benchmarks additionally sweep the hybrid executor's
+// re-expansion threshold over the same exponents on a 2-worker pool with a
+// *static* partition: the per-chunk step counts are independent of which
+// thread runs which chunk, so the merged and per-worker utilization records
+// are exactly as deterministic as the sequential ones and join the same
+// gate.
+//
 // Output: CSV `benchmark,policy,block,utilization` plus a rendered summary.
 // Flags: --scale=, --benchmarks=, --max-exp=N (default 16), --csv-only,
 //        --format=json, --out=
@@ -27,7 +34,7 @@ int main(int argc, char** argv) {
   const std::string scale = flags.get("scale", "default");
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 16));
   const std::string filter =
-      flags.get("benchmarks", "nqueens,graphcol,uts,minmax,barneshut,pointcorr");
+      flags.get("benchmarks", "nqueens,graphcol,uts,minmax,barneshut,pointcorr,minmaxdist");
   const bool csv_only = flags.has("csv-only");
   tbench::Reporter rep("fig4_simd_utilization", flags);
 
@@ -52,6 +59,30 @@ int main(int argc, char** argv) {
                                 tb::core::to_string(pol), "soa", 0),
                        "utilization", u);
         series[b->name()][tb::core::to_string(pol)].push_back(u);
+      }
+    }
+  }
+
+  // Hybrid executor: deterministic static 2-chunk partition, re-expansion
+  // threshold swept over the same exponents.  Merged + per-worker records.
+  tb::rt::ForkJoinPool pool2(2);
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name()) || !b->has_hybrid()) continue;
+    for (int e = 0; e <= max_exp; ++e) {
+      const std::size_t block = 1ull << e;
+      tb::rt::HybridOptions opt;
+      opt.t_reexp = block;
+      opt.static_partition = true;
+      tb::core::PerWorkerStats pw;
+      (void)b->run_hybrid(pool2, opt, &pw);
+      const double u = pw.merged().simd_utilization();
+      std::printf("%s,hybrid,%zu,%.4f\n", b->name().c_str(), block, u);
+      const std::string variant = "block=" + std::to_string(block);
+      rep.add_metric(rep.make(b->name(), variant, "hybrid", "simd", 2), "utilization", u);
+      for (std::size_t s = 0; s < pw.slots(); ++s) {
+        rep.add_metric(rep.make(b->name(), variant + ":worker=" + std::to_string(s),
+                                "hybrid", "simd", 2),
+                       "utilization", pw.utilization(s));
       }
     }
   }

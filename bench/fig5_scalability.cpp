@@ -1,6 +1,6 @@
 // Figure 5 — scalability at small block size (2^5).
 //
-// Two modes:
+// Three modes:
 //   measured   wall-clock speedup vs the 1-worker Cilk baseline for scalar /
 //              reexp / restart while sweeping the worker count.  On a host
 //              with few hardware threads this is oversubscription, reported
@@ -8,15 +8,21 @@
 //   simulated  the discrete §4-cost-model simulator replays each
 //              benchmark's *actual* materialized computation tree on P
 //              virtual cores — this reproduces the paper's scaling shape
-//              independent of the host (DESIGN.md §3).
+//              independent of the host (DESIGN.md §3).  Deterministic; the
+//              nightly gate diffs these records at threshold 0.
+//   hybrid     the cores×lanes sweep of the hybrid executor: engine width
+//              W ∈ {4, 8} × worker count, wall-clock speedup vs each
+//              width's own 1-worker run.  Shows the two parallelism
+//              dimensions composing — the paper's headline claim.
 //
-// JSON records: measured points as raw "seconds" timings; simulated points
-// as deterministic "speedup" ratios (host-independent, diffable exactly).
+// JSON records: measured/hybrid points as raw "seconds" timings; simulated
+// points as deterministic "speedup" ratios (host-independent, diffable
+// exactly).
 //
 // Output: CSV `benchmark,mode,policy,workers,speedup`.
-// Flags: --scale= (measured), --sim-scale= (simulated; default test),
-//        --max-workers=16, --block=32, --benchmarks=, --mode=both,
-//        --format=json, --out=
+// Flags: --scale= (measured/hybrid), --sim-scale= (simulated; default test),
+//        --max-workers=16, --block=32, --benchmarks=, --mode=both|measured|
+//        simulated|hybrid, --format=json, --out=
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -29,6 +35,42 @@
 namespace {
 
 constexpr const char* kFigBenches = "graphcol,uts,minmax,barneshut,pointcorr,knn";
+constexpr const char* kHybridBenches = "barneshut,pointcorr,knn,minmaxdist";
+
+// Cores×lanes scaling of the hybrid executor: for each engine width, sweep
+// the worker count and report speedup over that width's own 1-worker run
+// (the lane dimension shows up as the gap between the W=4 and W=8 curves).
+void run_hybrid_mode(const tbench::Flags& flags, tbench::Reporter& rep) {
+  const std::string scale = flags.get("scale", "default");
+  const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
+  const std::string filter = flags.get("benchmarks", kHybridBenches);
+  auto suite = tbench::make_suite(scale);
+  for (auto& b : suite) {
+    if (!tbench::selected(filter, b->name()) || !b->has_hybrid()) continue;
+    for (const int lanes : {4, 8}) {
+      // Threshold proportional to the *swept* width, not the build's
+      // natural width, so the W=4 vs W=8 gap isn't confounded by a hidden
+      // tuning difference.
+      tb::rt::HybridOptions opt;
+      opt.t_reexp = 4 * static_cast<std::size_t>(lanes);
+      const std::string pol = "hybrid:w" + std::to_string(lanes);
+      double t1 = 0;
+      for (int w = 1; w <= max_workers; w *= 2) {
+        tb::rt::ForkJoinPool pool(w);
+        tb::core::PerWorkerStats pw;
+        const double t =
+            rep.add_timed(rep.make(b->name(), "hybrid:sweep", "w" + std::to_string(lanes),
+                                   "simd", w),
+                          1, [&] { (void)b->run_hybrid(pool, opt, &pw, lanes); });
+        if (w == 1) t1 = t;
+        std::printf("%s,hybrid,%s,%d,%.2f\n", b->name().c_str(), pol.c_str(), w, t1 / t);
+        rep.add_metric(rep.make(b->name(), "hybrid:util", "w" + std::to_string(lanes),
+                                "simd", w),
+                       "utilization", pw.merged().simd_utilization());
+      }
+    }
+  }
+}
 
 void run_measured(const tbench::Flags& flags, tbench::Reporter& rep) {
   const std::string scale = flags.get("scale", "default");
@@ -168,6 +210,7 @@ int main(int argc, char** argv) {
   std::printf("benchmark,mode,policy,workers,speedup\n");
   if (mode == "simulated" || mode == "both") run_simulated(flags, rep);
   if (mode == "measured" || mode == "both") run_measured(flags, rep);
+  if (mode == "hybrid" || mode == "both") run_hybrid_mode(flags, rep);
   if (mode == "both") {
     std::printf(
         "# simulated: §4 cost model on P virtual cores (shape of paper Fig. 5).\n"

@@ -145,7 +145,11 @@ void BM_Splitmix(benchmark::State& state) {
 }
 BENCHMARK(BM_Splitmix);
 
-// Console output as usual, plus capture of every run into the Reporter.
+// Console output as usual, plus capture of every run into the Reporter:
+// seconds per iteration (lower is better), and — when the benchmark calls
+// SetItemsProcessed — Google Benchmark's items_per_second as a
+// higher-is-better "ratio" record, which is what lets the substrate
+// microbenches join the nightly same-host regression gate (--units=ratio).
 class CapturingReporter : public benchmark::ConsoleReporter {
 public:
   explicit CapturingReporter(tbench::Reporter* rep) : rep_(rep) {}
@@ -158,6 +162,15 @@ public:
       r.seconds_best = run.real_accumulated_time / static_cast<double>(run.iterations);
       r.seconds_all = {r.seconds_best};
       rep_->add(r);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        tbench::Result ips = rep_->make(run.benchmark_name(), "gbench");
+        ips.unit = "ratio";
+        ips.reps = 1;
+        ips.seconds_best = static_cast<double>(items->second);
+        ips.seconds_all = {ips.seconds_best};
+        rep_->add(ips);
+      }
     }
   }
 

@@ -1,4 +1,5 @@
-// The 11-benchmark suite of Table 1 behind a uniform interface.
+// The benchmark suite of Table 1 (plus the minmaxdist traversal extension)
+// behind a uniform interface — 12 benchmarks.
 //
 // Each benchmark exposes: the plain sequential recursion (Ts), the
 // Cilk-style spawn version (T1/T16), and the blocked scheduler variants
@@ -26,12 +27,18 @@
 #include "apps/knapsack.hpp"
 #include "apps/knn.hpp"
 #include "apps/minmax.hpp"
+#include "apps/minmaxdist.hpp"
 #include "apps/nqueens.hpp"
 #include "apps/parentheses.hpp"
 #include "apps/pointcorr.hpp"
 #include "apps/uts.hpp"
 #include "core/driver.hpp"
 #include "core/ideal_restart.hpp"
+#include "lockstep/lockstep_barneshut.hpp"
+#include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_minmax.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "runtime/hybrid.hpp"
 
 namespace tbench {
 
@@ -105,6 +112,20 @@ public:
   // Default scheduler block size / restart-block size for this benchmark.
   virtual std::size_t default_block() const { return 1u << 10; }
   virtual std::size_t default_restart() const { return default_block() / 8; }
+
+  // Hybrid vector×multicore executor (runtime/hybrid.hpp): lockstep SIMD
+  // blocks on the work-stealing pool.  Only the traversal benchmarks
+  // support it; `lanes` selects the engine width: 0 = the program's natural
+  // width (4 without AVX2, 8 with), 4/8 = the explicit instantiations of
+  // the cores×lanes sweep.
+  virtual bool has_hybrid() const { return false; }
+  virtual std::string run_hybrid(tb::rt::ForkJoinPool&, const tb::rt::HybridOptions&,
+                                 tb::core::PerWorkerStats* = nullptr, int lanes = 0) {
+    (void)lanes;
+    return {};
+  }
+  // Default re-expansion threshold for the hybrid engine.
+  std::size_t default_hybrid_reexp() const { return 4 * static_cast<std::size_t>(q()); }
 
   tb::core::Thresholds thresholds(std::size_t block = 0, std::size_t restart = 0) const {
     return tb::core::Thresholds::for_block_size(
@@ -336,6 +357,18 @@ public:
     return run_blocked_generic(prog_, roots_, cfg, st);
   }
   std::size_t default_block() const override { return 1u << 9; }
+  bool has_hybrid() const override { return true; }
+  std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
+                         tb::core::PerWorkerStats* pw, int lanes) override {
+    reset();
+    if (lanes == 4) {
+      return digest_of(tb::lockstep::hybrid_barneshut<4>(pool, prog_, theta_, opt, pw));
+    }
+    if (lanes == 8) {
+      return digest_of(tb::lockstep::hybrid_barneshut<8>(pool, prog_, theta_, opt, pw));
+    }
+    return digest_of(tb::lockstep::hybrid_barneshut<>(pool, prog_, theta_, opt, pw));
+  }
 
 private:
   void reset() {
@@ -374,6 +407,17 @@ public:
     return run_blocked_generic(prog_, roots_, cfg, st);
   }
   std::size_t default_block() const override { return 1u << 10; }
+  bool has_hybrid() const override { return true; }
+  std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
+                         tb::core::PerWorkerStats* pw, int lanes) override {
+    if (lanes == 4) {
+      return digest_of(tb::lockstep::hybrid_pointcorr<4>(pool, prog_, opt, pw));
+    }
+    if (lanes == 8) {
+      return digest_of(tb::lockstep::hybrid_pointcorr<8>(pool, prog_, opt, pw));
+    }
+    return digest_of(tb::lockstep::hybrid_pointcorr<>(pool, prog_, opt, pw));
+  }
 
 private:
   tb::spatial::Bodies points_;
@@ -420,6 +464,20 @@ public:
     return digest_state(state);
   }
   std::size_t default_block() const override { return 1u << 9; }
+  bool has_hybrid() const override { return true; }
+  std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
+                         tb::core::PerWorkerStats* pw, int lanes) override {
+    tb::apps::KnnState state(points_.size(), k_);
+    tb::apps::KnnProgram prog{&points_, &tree_, &state};
+    if (lanes == 4) {
+      tb::lockstep::hybrid_knn<4>(pool, prog, opt, pw);
+    } else if (lanes == 8) {
+      tb::lockstep::hybrid_knn<8>(pool, prog, opt, pw);
+    } else {
+      tb::lockstep::hybrid_knn<>(pool, prog, opt, pw);
+    }
+    return digest_state(state);
+  }
 
 private:
   static void census_walk(const tb::apps::KnnProgram& prog, const tb::apps::KnnProgram::Task& t,
@@ -455,6 +513,79 @@ private:
   int k_;
 };
 
+class MinmaxDistBench final : public IBench {
+public:
+  explicit MinmaxDistBench(std::size_t points)
+      : points_(tb::spatial::Bodies::uniform_cube(points)),
+        tree_(tb::spatial::KdTree::build(points_, 16)) {}
+  std::string name() const override { return "minmaxdist"; }
+  std::string problem() const override { return std::to_string(points_.size()) + " pts"; }
+  int q() const override { return tb::apps::MinmaxDistProgram::simd_width; }
+  tb::core::TreeInfo census() override {
+    // Counts the actual pruned traversal of a fresh sequential run (expand
+    // depends on the evolving bounds, like knn).
+    tb::apps::MinmaxDistState state(points_.size());
+    tb::apps::MinmaxDistProgram prog{&points_, &tree_, &state};
+    tb::core::TreeInfo info;
+    for (const auto& r : prog.roots()) census_walk(prog, r, 0, info);
+    return info;
+  }
+  std::string run_sequential() override {
+    tb::apps::MinmaxDistState state(points_.size());
+    tb::apps::MinmaxDistProgram prog{&points_, &tree_, &state};
+    tb::apps::minmaxdist_sequential(prog);
+    return tb::apps::minmaxdist_digest(state);
+  }
+  std::string run_cilk(tb::rt::ForkJoinPool& pool) override {
+    tb::apps::MinmaxDistState state(points_.size());
+    tb::apps::MinmaxDistProgram prog{&points_, &tree_, &state};
+    tb::apps::minmaxdist_cilk(pool, prog);
+    return tb::apps::minmaxdist_digest(state);
+  }
+  std::string run_blocked(const BlockedConfig& cfg, tb::core::ExecStats* st) override {
+    tb::apps::MinmaxDistState state(points_.size());
+    tb::apps::MinmaxDistProgram prog{&points_, &tree_, &state};
+    const auto roots = prog.roots();
+    (void)run_blocked_generic(prog, roots, cfg, st);
+    return tb::apps::minmaxdist_digest(state);
+  }
+  std::size_t default_block() const override { return 1u << 10; }
+  bool has_hybrid() const override { return true; }
+  std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
+                         tb::core::PerWorkerStats* pw, int lanes) override {
+    tb::apps::MinmaxDistState state(points_.size());
+    tb::apps::MinmaxDistProgram prog{&points_, &tree_, &state};
+    if (lanes == 4) {
+      tb::lockstep::hybrid_minmaxdist<4>(pool, prog, opt, pw);
+    } else if (lanes == 8) {
+      tb::lockstep::hybrid_minmaxdist<8>(pool, prog, opt, pw);
+    } else {
+      tb::lockstep::hybrid_minmaxdist<>(pool, prog, opt, pw);
+    }
+    return tb::apps::minmaxdist_digest(state);
+  }
+
+private:
+  static void census_walk(const tb::apps::MinmaxDistProgram& prog,
+                          const tb::apps::MinmaxDistProgram::Task& t, int depth,
+                          tb::core::TreeInfo& info) {
+    ++info.tasks;
+    info.levels = std::max(info.levels, depth + 1);
+    if (prog.is_base(t)) {
+      ++info.leaves;
+      tb::apps::MinmaxDistProgram::Result dummy = 0;
+      prog.leaf(t, dummy);  // keep bounds moving so the census walk prunes
+      return;
+    }
+    prog.expand(t, [&](int, const tb::apps::MinmaxDistProgram::Task& c) {
+      census_walk(prog, c, depth + 1, info);
+    });
+  }
+
+  tb::spatial::Bodies points_;
+  tb::spatial::KdTree tree_;
+};
+
 // ---- suite factory ----------------------------------------------------------------
 
 inline std::vector<std::unique_ptr<IBench>> make_suite(const std::string& scale) {
@@ -471,6 +602,7 @@ inline std::vector<std::unique_ptr<IBench>> make_suite(const std::string& scale)
     v.push_back(std::make_unique<BarnesHutBench>(2000, 0.5f));
     v.push_back(std::make_unique<PointCorrBench>(2000, 0.05f));
     v.push_back(std::make_unique<KnnBench>(2000, 4));
+    v.push_back(std::make_unique<MinmaxDistBench>(2000));
   } else if (scale == "paper") {
     v.push_back(std::make_unique<KnapsackBench>(30));
     v.push_back(std::make_unique<FibBench>(45));
@@ -483,6 +615,7 @@ inline std::vector<std::unique_ptr<IBench>> make_suite(const std::string& scale)
     v.push_back(std::make_unique<BarnesHutBench>(1000000, 0.5f));
     v.push_back(std::make_unique<PointCorrBench>(300000, 0.01f));
     v.push_back(std::make_unique<KnnBench>(100000, 4));
+    v.push_back(std::make_unique<MinmaxDistBench>(300000));
   } else {  // default
     v.push_back(std::make_unique<KnapsackBench>(21));
     v.push_back(std::make_unique<FibBench>(32));
@@ -495,6 +628,7 @@ inline std::vector<std::unique_ptr<IBench>> make_suite(const std::string& scale)
     v.push_back(std::make_unique<BarnesHutBench>(20000, 0.5f));
     v.push_back(std::make_unique<PointCorrBench>(20000, 0.02f));
     v.push_back(std::make_unique<KnnBench>(20000, 4));
+    v.push_back(std::make_unique<MinmaxDistBench>(20000));
   }
   return v;
 }

@@ -9,7 +9,14 @@
 //
 // JSON records: one "seconds" record per (benchmark × rung) raw timing, and
 // one higher-is-better "ratio" record per geomean speedup cell — the
-// host-normalized numbers the nightly regression gate diffs.
+// host-normalized numbers the nightly regression gate diffs (as a same-host
+// base-vs-HEAD pair captured inside the workflow).
+//
+// The traversal benchmarks additionally run the hybrid vector×multicore
+// executor (lockstep SIMD blocks on the work-stealing pool): timed like the
+// other rungs, plus per-worker SIMD-utilization records ("utilization"
+// unit, excluded from the ratio gate — per-worker attribution under work
+// stealing is not deterministic).
 //
 // Flags: --scale=, --workers=, --benchmarks=, --reps=, --format=json, --out=
 #include <cstdio>
@@ -51,6 +58,7 @@ int main(int argc, char** argv) {
 
   std::map<VariantKey, std::vector<double>> speedups;
   std::vector<double> scalar1, scalarP;
+  std::vector<double> hybrid1, hybridP;
   // With --workers=1 the P-worker rows are the same configuration as the
   // 1-worker rows; recording both would collide on the identity key and
   // break the zero-delta self-diff contract, so the duplicates are timed
@@ -112,6 +120,43 @@ int main(int argc, char** argv) {
         speedups[{pol, layer, true}].push_back(ts / tvP);
       }
     }
+    if (b->has_hybrid()) {
+      tb::rt::HybridOptions hopt;
+      hopt.t_reexp = b->default_hybrid_reexp();
+      const double th1 =
+          rep.add_timed(rep.make(b->name(), "hybrid", "-", "simd", 1), reps,
+                        [&] { got = b->run_hybrid(pool1, hopt); });
+      rep.set_last_digest(got);
+      if (got != expected) {
+        all_ok = false;
+        std::printf("MISMATCH %s hybrid 1-worker\n", b->name().c_str());
+      }
+      tb::core::PerWorkerStats pw;
+      double thP;
+      if (record_p) {
+        thP = rep.add_timed(rep.make(b->name(), "hybrid", "-", "simd", workers), reps,
+                            [&] { got = b->run_hybrid(poolP, hopt, &pw); });
+        rep.set_last_digest(got);
+        if (got != expected) {
+          all_ok = false;
+          std::printf("MISMATCH %s hybrid P-worker\n", b->name().c_str());
+        }
+      } else {
+        thP = tbench::time_best([&] { (void)b->run_hybrid(poolP, hopt, &pw); }, reps);
+      }
+      // Per-worker SIMD utilization of the last P-worker run, plus the
+      // merged view.  Worker attribution varies run to run, so these are
+      // "utilization" records the ratio gate skips.
+      for (std::size_t s = 0; s < pw.slots(); ++s) {
+        rep.add_metric(rep.make(b->name(), "hybrid:worker=" + std::to_string(s), "-",
+                                "simd", workers),
+                       "utilization", pw.utilization(s));
+      }
+      rep.add_metric(rep.make(b->name(), "hybrid:merged", "-", "simd", workers),
+                     "utilization", pw.merged().simd_utilization());
+      hybrid1.push_back(ts / th1);
+      hybridP.push_back(ts / thP);
+    }
   }
 
   auto gm = [&](SeqPolicy p, Layer l, bool par) {
@@ -135,6 +180,14 @@ int main(int argc, char** argv) {
                                 tbench::to_string(layer), workers),
                        "ratio", gm(pol, layer, true));
       }
+    }
+  }
+  if (!hybrid1.empty()) {
+    rep.add_metric(rep.make("geomean", "speedup", "hybrid", "simd", 1), "ratio",
+                   tbench::geomean(hybrid1));
+    if (record_p) {
+      rep.add_metric(rep.make("geomean", "speedup", "hybrid", "simd", workers), "ratio",
+                     tbench::geomean(hybridP));
     }
   }
 
@@ -165,6 +218,12 @@ int main(int argc, char** argv) {
                   gm(SeqPolicy::Restart, Layer::Soa, false),
               gm(SeqPolicy::Restart, Layer::Simd, true) /
                   gm(SeqPolicy::Restart, Layer::Simd, false));
+  if (!hybrid1.empty()) {
+    std::printf("\n%-12s %7.2f | %7.2f | %7.2f   (traversal benchmarks; lockstep blocks "
+                "on the pool)\n",
+                "Hybrid", tbench::geomean(hybrid1), tbench::geomean(hybridP),
+                tbench::geomean(hybridP) / tbench::geomean(hybrid1));
+  }
   std::printf(
       "\nExpected shape (paper): Block > scalar at 1 worker, SOA >= Block, SIMD >> SOA.\n"
       "Wall-clock scalability on this host reflects %u hardware thread(s).\n",

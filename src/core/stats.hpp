@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace tb::core {
 
@@ -82,6 +83,47 @@ struct ExecStats {
     peak_space_tasks = std::max(peak_space_tasks, o.peak_space_tasks);
     peak_frames = std::max(peak_frames, o.peak_frames);
     return *this;
+  }
+};
+
+// Per-slot execution statistics for the hybrid vector×multicore executor
+// (runtime/hybrid.hpp): one ExecStats per worker (dynamic partition) or per
+// chunk (static partition — deterministic, used by the fig4 gate).  The
+// per-slot SIMD utilizations expose load imbalance between workers that the
+// merged view averages away.
+struct PerWorkerStats {
+  std::vector<ExecStats> workers;
+
+  void reset(std::size_t slots) { workers.assign(slots, ExecStats{}); }
+  std::size_t slots() const { return workers.size(); }
+
+  ExecStats merged() const {
+    ExecStats total;
+    for (const auto& w : workers) total.merge(w);
+    return total;
+  }
+
+  double utilization(std::size_t slot) const { return workers[slot].simd_utilization(); }
+
+  // Min/max across slots that executed at least one step; idle slots report
+  // utilization 1.0 by convention and would mask real imbalance.
+  double min_utilization() const {
+    double m = 1.0;
+    for (const auto& w : workers) {
+      if (w.steps_total > 0) m = std::min(m, w.simd_utilization());
+    }
+    return m;
+  }
+  double max_utilization() const {
+    double m = 0.0;
+    bool any = false;
+    for (const auto& w : workers) {
+      if (w.steps_total > 0) {
+        m = std::max(m, w.simd_utilization());
+        any = true;
+      }
+    }
+    return any ? m : 1.0;
   }
 };
 

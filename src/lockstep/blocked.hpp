@@ -1,0 +1,227 @@
+// Blocked re-expansion traversal engine — the generalization of the classic
+// lockstep model (lockstep.hpp) that the hybrid vector×multicore executor
+// runs on the work-stealing pool (runtime/hybrid.hpp).
+//
+// The classic lockstep engine fixes W queries to W lanes for the whole
+// traversal: once lanes diverge, dead lanes idle until the shared walk
+// leaves the subtree.  This engine instead carries a *dense block* of query
+// ids per frame (an explicit frame stack of (node, payload, id-block)) and
+// applies the paper's two density-recovery moves at every node:
+//
+//   * streaming compaction (§6, simd/compact.hpp): the per-step descend
+//     masks left-pack the surviving query ids into the child frame's block,
+//     so dead lanes are squeezed out instead of idling;
+//   * a re-expansion threshold: a frame whose block has fewer than t_reexp
+//     live queries stops re-blocking — below the threshold compaction can no
+//     longer amortize its cost — and finishes in classic masked-lockstep
+//     mode (the degenerate case: t_reexp larger than the query count IS the
+//     prior-work model, one fixed W-group at a time).
+//
+// Id blocks are recycled through an engine-local pool (one engine per pool
+// worker under the hybrid executor — the per-worker block_pool instances),
+// and sibling frames share their parent's survivor block by refcount, so
+// the steady state is allocation-free.
+//
+// Statistics land in core::ExecStats with the paper's step accounting: a
+// blocked frame of t live queries is a superstep of ceil(t/W) steps
+// (floor(t/W) complete); a masked node visit is one step, complete only
+// when all W lanes are live.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "simd/batch.hpp"
+#include "simd/compact.hpp"
+
+namespace tb::lockstep {
+
+template <int W, class Payload = char>
+class BlockedTraversal {
+public:
+  using BI = simd::batch<std::int32_t, W>;
+  static constexpr std::uint32_t kFullMask = simd::mask_all<W>;
+  static constexpr int kMaxChildren = 8;
+
+  explicit BlockedTraversal(std::size_t t_reexp = 0) : t_reexp_(t_reexp) {}
+
+  void set_reexp_threshold(std::size_t t) { t_reexp_ = t; }
+  std::size_t reexp_threshold() const { return t_reexp_; }
+
+  // Walks the shared tree from `root` with the dense query block
+  // [first_query, first_query + num_queries).
+  //
+  //   children(node, out) -> int      writes up to kMaxChildren child ids
+  //   step(node, qids, mask, payload) -> descend mask (subset of `mask`);
+  //                                   lane l of `qids` is a query id, valid
+  //                                   when bit l of `mask` is set (invalid
+  //                                   lanes replicate a valid id so gathers
+  //                                   stay in bounds); leaf work happens
+  //                                   inside step, exactly as in the classic
+  //                                   kernels
+  //   descend(payload) -> payload     per-level payload for the children
+  //
+  // All surviving lanes descend into every child — the same contract as the
+  // classic engine, which pushes every child with one shared descend mask;
+  // step runs again at each child, so child-specific pruning happens there.
+  template <class ChildrenFn, class StepFn, class DescendFn>
+  void run(std::int32_t root, Payload root_payload, std::int32_t first_query,
+           std::int32_t num_queries, ChildrenFn&& children, StepFn&& step,
+           DescendFn&& descend, core::ExecStats* stats = nullptr) {
+    if (num_queries <= 0) return;
+    core::ExecStats local;
+    core::ExecStats& st = stats ? *stats : local;
+
+    IdBlock* rootb = alloc(static_cast<std::size_t>(num_queries));
+    for (std::int32_t i = 0; i < num_queries; ++i) {
+      rootb->ids[static_cast<std::size_t>(i)] = first_query + i;
+    }
+    rootb->n = static_cast<std::size_t>(num_queries);
+    rootb->refs = 1;
+    frames_.push_back(Frame{root, root_payload, rootb});
+
+    std::int32_t kids[kMaxChildren];
+    while (!frames_.empty()) {
+      Frame f = frames_.back();
+      frames_.pop_back();
+      if (f.blk->n == 0) {
+        release(f.blk);
+        continue;
+      }
+      if (f.blk->n < t_reexp_) {
+        // Below the re-expansion threshold: finish this subtree in classic
+        // masked-lockstep mode (no further compaction).
+        st.on_action(core::Action::Restart);
+        masked_subtree(f, children, step, descend, st);
+        release(f.blk);
+        continue;
+      }
+
+      // Blocked superstep: evaluate the whole block W lanes at a time and
+      // left-pack the survivors into a fresh dense block.
+      st.on_block_executed(f.blk->n, W, std::max<std::size_t>(t_reexp_, W));
+      st.on_action(core::Action::DFE);
+      IdBlock* surv = alloc(f.blk->n + static_cast<std::size_t>(W));
+      const std::int32_t* ids = f.blk->ids.data();
+      for (std::size_t i = 0; i < f.blk->n; i += static_cast<std::size_t>(W)) {
+        const int lanes =
+            static_cast<int>(std::min<std::size_t>(W, f.blk->n - i));
+        BI q;
+        if (lanes == W) {
+          q = BI::loadu(ids + i);
+        } else {
+          for (int l = 0; l < W; ++l) q.set(l, ids[i + static_cast<std::size_t>(l < lanes ? l : 0)]);
+        }
+        const std::uint32_t valid = lanes == W ? kFullMask : ((1u << lanes) - 1u);
+        const std::uint32_t m = step(f.node, q, valid, f.payload) & valid;
+        if (m != 0) {
+          surv->n += static_cast<std::size_t>(
+              simd::compact_store(surv->ids.data() + surv->n, m, q));
+        }
+      }
+      release(f.blk);
+      if (surv->n == 0) {
+        release(surv);
+        continue;
+      }
+      const int nk = children(f.node, kids);
+      if (nk == 0) {
+        release(surv);
+        continue;
+      }
+      const Payload cp = descend(f.payload);
+      surv->refs = nk;  // siblings share the survivor block
+      for (int s = nk; s-- > 0;) frames_.push_back(Frame{kids[s], cp, surv});
+    }
+  }
+
+private:
+  struct IdBlock {
+    std::vector<std::int32_t> ids;  // capacity carries W slack for compact stores
+    std::size_t n = 0;
+    int refs = 0;
+  };
+
+  struct Frame {
+    std::int32_t node;
+    Payload payload;
+    IdBlock* blk;
+  };
+
+  struct MaskedFrame {
+    std::int32_t node;
+    std::uint32_t mask;
+    Payload payload;
+  };
+
+  // Classic masked-lockstep DFS over one small block: fixed W-groups of the
+  // block's (dense) survivors, lane masks carried, no compaction — the
+  // prior-work execution model, reached only below t_reexp.
+  template <class ChildrenFn, class StepFn, class DescendFn>
+  void masked_subtree(const Frame& f, ChildrenFn&& children, StepFn&& step,
+                      DescendFn&& descend, core::ExecStats& st) {
+    const std::int32_t* ids = f.blk->ids.data();
+    std::int32_t kids[kMaxChildren];
+    for (std::size_t g = 0; g < f.blk->n; g += static_cast<std::size_t>(W)) {
+      const int lanes = static_cast<int>(std::min<std::size_t>(W, f.blk->n - g));
+      BI q;
+      for (int l = 0; l < W; ++l) q.set(l, ids[g + static_cast<std::size_t>(l < lanes ? l : 0)]);
+      const std::uint32_t init = lanes == W ? kFullMask : ((1u << lanes) - 1u);
+      st.supersteps += 1;
+      st.partial_supersteps += 1;  // by construction below the threshold
+      mstack_.push_back(MaskedFrame{f.node, init, f.payload});
+      while (!mstack_.empty()) {
+        const MaskedFrame mf = mstack_.back();
+        mstack_.pop_back();
+        if (mf.mask == 0) continue;
+        st.steps_total += 1;
+        st.steps_complete += (mf.mask == kFullMask) ? 1 : 0;
+        st.tasks_executed += static_cast<std::uint64_t>(std::popcount(mf.mask));
+        const std::uint32_t m = step(mf.node, q, mf.mask, mf.payload) & mf.mask;
+        if (m == 0) continue;
+        const int nk = children(mf.node, kids);
+        if (nk == 0) continue;
+        const Payload cp = descend(mf.payload);
+        for (int s = nk; s-- > 0;) mstack_.push_back(MaskedFrame{kids[s], m, cp});
+      }
+    }
+  }
+
+  IdBlock* alloc(std::size_t cap) {
+    // W slack past the logical size: compact_store always writes a full
+    // vector and the caller bumps n by popcount (same contract as
+    // SoaBlock::ensure_slack).
+    const std::size_t want = cap + static_cast<std::size_t>(W);
+    IdBlock* b;
+    if (!free_.empty()) {
+      b = free_.back();
+      free_.pop_back();
+    } else {
+      arena_.push_back(std::make_unique<IdBlock>());
+      b = arena_.back().get();
+    }
+    if (b->ids.size() < want) b->ids.resize(want);
+    b->n = 0;
+    b->refs = 1;
+    return b;
+  }
+
+  void release(IdBlock* b) {
+    if (--b->refs == 0) {
+      b->n = 0;
+      free_.push_back(b);
+    }
+  }
+
+  std::size_t t_reexp_;
+  std::vector<Frame> frames_;
+  std::vector<MaskedFrame> mstack_;
+  std::vector<std::unique_ptr<IdBlock>> arena_;
+  std::vector<IdBlock*> free_;
+};
+
+}  // namespace tb::lockstep

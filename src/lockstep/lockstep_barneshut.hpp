@@ -13,9 +13,14 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "apps/barneshut.hpp"
+#include "core/stats.hpp"
+#include "lockstep/blocked.hpp"
 #include "lockstep/lockstep.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/hybrid.hpp"
 #include "simd/batch.hpp"
 
 namespace tb::lockstep {
@@ -111,6 +116,143 @@ inline std::uint64_t lockstep_barneshut(const apps::BarnesHutProgram& prog, floa
     }
   }
   return interactions;
+}
+
+// ---- blocked / hybrid port ------------------------------------------------------
+//
+// The opening threshold d² is the per-frame payload (it only depends on the
+// level), cell data is broadcast, body data gathered.  Unlike the classic
+// kernel — whose W bodies keep their force accumulators in registers for the
+// whole walk — compaction regroups bodies at every node, so forces scatter
+// into the per-body arrays per step (far-field kicks lane-by-lane, one
+// accumulated scatter per leaf).  The terminal-interaction fingerprint stays
+// bit-identical to the recursive formulation; forces agree to reassociation
+// tolerance.
+template <int W>
+struct BarnesHutBlockedKernel {
+  using BF = simd::batch<float, W>;
+  using BI = simd::batch<std::int32_t, W>;
+
+  const apps::BarnesHutProgram& prog;
+  std::uint64_t interactions = 0;
+
+  int children(std::int32_t node, std::int32_t* out) const {
+    int c = 0;
+    for (const std::int32_t kid :
+         prog.tree->children[static_cast<std::size_t>(node)]) {
+      if (kid != spatial::Octree::kNoChild) out[c++] = kid;
+    }
+    return c;
+  }
+
+  std::uint32_t step(std::int32_t node, const BI& qid, std::uint32_t mask, float d2) {
+    const spatial::Octree& tree = *prog.tree;
+    const spatial::Bodies& bodies = *prog.bodies;
+    const BF eps2 = BF::broadcast(prog.eps2);
+    const auto nn = static_cast<std::size_t>(node);
+    const BF qx = simd::gather(bodies.x.data(), qid);
+    const BF qy = simd::gather(bodies.y.data(), qid);
+    const BF qz = simd::gather(bodies.z.data(), qid);
+    const BF dx = BF::broadcast(tree.com_x[nn]) - qx;
+    const BF dy = BF::broadcast(tree.com_y[nn]) - qy;
+    const BF dz = BF::broadcast(tree.com_z[nn]) - qz;
+    const BF dr2 = dx * dx + dy * dy + dz * dz;
+    const std::uint32_t far = mask & simd::cmp_ge(dr2, BF::broadcast(d2));
+    if (far != 0) {
+      // Far lanes: one interaction with the cell's center of mass.
+      interactions += std::popcount(far);
+      const BF r2 = dr2 + eps2;
+      BF f;
+      for (int l = 0; l < W; ++l) {
+        const float inv = 1.0f / std::sqrt(r2[l]);
+        f.set(l, tree.mass[nn] * inv * inv * inv);
+      }
+      const BF fx = f * dx, fy = f * dy, fz = f * dz;
+      std::uint32_t m = far;
+      while (m != 0) {
+        const int l = std::countr_zero(m);
+        m &= m - 1;
+        prog.add_force(qid[l], fx[l], fy[l], fz[l]);
+      }
+    }
+    const std::uint32_t near_lanes = mask & ~far;
+    if (near_lanes == 0) return 0;
+    if (!tree.is_leaf(node)) return near_lanes;
+    // Leaf: direct sum of the leaf's bodies against the near lanes,
+    // accumulated across the leaf loop and scattered once per lane.
+    interactions += std::popcount(near_lanes);
+    BF fx = BF::zero(), fy = BF::zero(), fz = BF::zero();
+    const BF zero = BF::zero();
+    for (std::int32_t j = tree.leaf_begin[nn]; j < tree.leaf_end[nn]; ++j) {
+      const auto bj =
+          static_cast<std::size_t>(tree.body_index[static_cast<std::size_t>(j)]);
+      const BF bx = BF::broadcast(bodies.x[bj]) - qx;
+      const BF by = BF::broadcast(bodies.y[bj]) - qy;
+      const BF bz = BF::broadcast(bodies.z[bj]) - qz;
+      const BF r2 = bx * bx + by * by + bz * bz + eps2;
+      // Mask out the self lane (a body never attracts itself).
+      const std::uint32_t m =
+          near_lanes &
+          ~simd::cmp_eq(qid, BI::broadcast(static_cast<std::int32_t>(bj)));
+      if (m == 0) continue;
+      BF f;
+      for (int l = 0; l < W; ++l) {
+        const float inv = 1.0f / std::sqrt(r2[l]);
+        f.set(l, bodies.mass[bj] * inv * inv * inv);
+      }
+      fx += simd::select(m, f * bx, zero);
+      fy += simd::select(m, f * by, zero);
+      fz += simd::select(m, f * bz, zero);
+    }
+    std::uint32_t m = near_lanes;
+    while (m != 0) {
+      const int l = std::countr_zero(m);
+      m &= m - 1;
+      prog.add_force(qid[l], fx[l], fy[l], fz[l]);
+    }
+    return 0;
+  }
+};
+
+template <int W = apps::BarnesHutProgram::simd_width>
+std::uint64_t blocked_barneshut_range(const apps::BarnesHutProgram& prog, float theta,
+                                      std::int32_t first, std::int32_t n,
+                                      BlockedTraversal<W, float>& engine,
+                                      core::ExecStats* stats = nullptr) {
+  BarnesHutBlockedKernel<W> k{prog};
+  engine.run(
+      prog.tree->root, prog.root_d2(theta), first, n,
+      [&](std::int32_t node, std::int32_t* out) { return k.children(node, out); },
+      [&](std::int32_t node, const typename BarnesHutBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, float d2) { return k.step(node, qid, mask, d2); },
+      [](float d2) { return d2 * 0.25f; }, stats);
+  return k.interactions;
+}
+
+template <int W = apps::BarnesHutProgram::simd_width>
+std::uint64_t blocked_barneshut(const apps::BarnesHutProgram& prog, float theta,
+                                std::size_t t_reexp = 0,
+                                core::ExecStats* stats = nullptr) {
+  BlockedTraversal<W, float> engine(t_reexp);
+  return blocked_barneshut_range<W>(
+      prog, theta, 0, static_cast<std::int32_t>(prog.bodies->size()), engine, stats);
+}
+
+template <int W = apps::BarnesHutProgram::simd_width>
+std::uint64_t hybrid_barneshut(rt::ForkJoinPool& pool, const apps::BarnesHutProgram& prog,
+                               float theta, const rt::HybridOptions& opt = {},
+                               core::PerWorkerStats* stats = nullptr) {
+  std::vector<rt::Padded<std::uint64_t>> parts(
+      static_cast<std::size_t>(rt::hybrid_slots(pool)));
+  rt::hybrid_run<BlockedTraversal<W, float>>(
+      pool, static_cast<std::int32_t>(prog.bodies->size()), opt, stats,
+      [&](std::int32_t b, std::int32_t e, std::size_t slot,
+          BlockedTraversal<W, float>& engine, core::ExecStats& st) {
+        parts[slot].value += blocked_barneshut_range<W>(prog, theta, b, e - b, engine, &st);
+      });
+  std::uint64_t total = 0;
+  for (const auto& p : parts) total += p.value;
+  return total;
 }
 
 }  // namespace tb::lockstep

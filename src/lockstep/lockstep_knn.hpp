@@ -11,9 +11,13 @@
 
 #include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "apps/knn.hpp"
+#include "core/stats.hpp"
+#include "lockstep/blocked.hpp"
 #include "lockstep/lockstep.hpp"
+#include "runtime/hybrid.hpp"
 #include "simd/batch.hpp"
 
 namespace tb::lockstep {
@@ -87,6 +91,94 @@ inline void lockstep_knn(const apps::KnnProgram& prog, LockstepStats* stats = nu
         },
         stats);
   }
+}
+
+// ---- blocked / hybrid port ------------------------------------------------------
+//
+// Same shared-node box test and leaf offers on the blocked re-expansion
+// engine; per-lane pruning bounds are reloaded at every step by gathered
+// query id, so compaction-regrouped lanes keep benefiting from their own
+// earlier leaf visits.  The final k-best lists stay schedule-independent.
+template <int W>
+struct KnnBlockedKernel {
+  using BF = simd::batch<float, W>;
+  using BI = simd::batch<std::int32_t, W>;
+
+  const apps::KnnProgram& prog;
+
+  int children(std::int32_t node, std::int32_t* out) const {
+    const spatial::KdTree& tree = *prog.tree;
+    const auto nn = static_cast<std::size_t>(node);
+    int c = 0;
+    if (tree.left[nn] != spatial::KdTree::kNoChild) out[c++] = tree.left[nn];
+    if (tree.right[nn] != spatial::KdTree::kNoChild) out[c++] = tree.right[nn];
+    return c;
+  }
+
+  std::uint32_t step(std::int32_t node, const BI& qid, std::uint32_t mask) const {
+    const spatial::KdTree& tree = *prog.tree;
+    const spatial::Bodies& pts = *prog.points;
+    apps::KnnState& state = *prog.state;
+    const BF zero = BF::zero();
+    const auto nn = static_cast<std::size_t>(node);
+    const BF qx = simd::gather(pts.x.data(), qid);
+    const BF qy = simd::gather(pts.y.data(), qid);
+    const BF qz = simd::gather(pts.z.data(), qid);
+    BF bound;
+    for (int l = 0; l < W; ++l) bound.set(l, state.bound(qid[l]));
+    const BF lox = BF::broadcast(tree.min_x[nn]) - qx;
+    const BF hix = qx - BF::broadcast(tree.max_x[nn]);
+    const BF loy = BF::broadcast(tree.min_y[nn]) - qy;
+    const BF hiy = qy - BF::broadcast(tree.max_y[nn]);
+    const BF loz = BF::broadcast(tree.min_z[nn]) - qz;
+    const BF hiz = qz - BF::broadcast(tree.max_z[nn]);
+    const BF dx = BF::max(BF::max(lox, hix), zero);
+    const BF dy = BF::max(BF::max(loy, hiy), zero);
+    const BF dz = BF::max(BF::max(loz, hiz), zero);
+    const std::uint32_t live = mask & simd::cmp_lt(dx * dx + dy * dy + dz * dz, bound);
+    if (live == 0 || !tree.is_leaf(node)) return live;
+    // Leaf offers go through the program's scalar base case so the final
+    // k-best lists are bit-identical to every other scheduler (vectorized
+    // distance math can differ from the scalar path by an ulp under FMA
+    // contraction — the LockstepKnn flake of the classic kernel).
+    std::uint32_t m = live;
+    while (m != 0) {
+      const int l = std::countr_zero(m);
+      m &= m - 1;
+      apps::KnnProgram::Result dummy = 0;
+      prog.leaf(apps::KnnProgram::Task{qid[l], node}, dummy);
+    }
+    return 0;
+  }
+};
+
+template <int W = apps::KnnProgram::simd_width>
+void blocked_knn_range(const apps::KnnProgram& prog, std::int32_t first, std::int32_t n,
+                       BlockedTraversal<W>& engine, core::ExecStats* stats = nullptr) {
+  KnnBlockedKernel<W> k{prog};
+  engine.run(
+      prog.tree->root, char{0}, first, n,
+      [&](std::int32_t node, std::int32_t* out) { return k.children(node, out); },
+      [&](std::int32_t node, const typename KnnBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, char) { return k.step(node, qid, mask); },
+      [](char p) { return p; }, stats);
+}
+
+template <int W = apps::KnnProgram::simd_width>
+void blocked_knn(const apps::KnnProgram& prog, std::size_t t_reexp = 0,
+                 core::ExecStats* stats = nullptr) {
+  BlockedTraversal<W> engine(t_reexp);
+  blocked_knn_range<W>(prog, 0, static_cast<std::int32_t>(prog.points->size()), engine,
+                       stats);
+}
+
+template <int W = apps::KnnProgram::simd_width>
+void hybrid_knn(rt::ForkJoinPool& pool, const apps::KnnProgram& prog,
+                const rt::HybridOptions& opt = {}, core::PerWorkerStats* stats = nullptr) {
+  rt::hybrid_run<BlockedTraversal<W>>(
+      pool, static_cast<std::int32_t>(prog.points->size()), opt, stats,
+      [&](std::int32_t b, std::int32_t e, std::size_t, BlockedTraversal<W>& engine,
+          core::ExecStats& st) { blocked_knn_range<W>(prog, b, e - b, engine, &st); });
 }
 
 }  // namespace tb::lockstep

@@ -1,0 +1,196 @@
+// min/max-extent search (apps/minmaxdist.hpp) under the lockstep model and
+// its blocked/hybrid ports — the fourth vectorized traversal workload.
+//
+// One query per lane, shared kd-tree walk; each lane carries two monotone
+// pruning bounds (nearest-so-far shrinks, farthest-so-far grows) reloaded at
+// every visit.  A lane descends only while the node's box could improve one
+// of its bounds, so divergence has a different shape from pointcorr/knn:
+// early on every lane descends everywhere, late in the walk the min-bound
+// prunes near the query while the max-bound prunes the middle of the tree.
+// The final extremes are order-independent (min/max over a fixed candidate
+// set), so all variants produce bit-identical state digests.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "apps/minmaxdist.hpp"
+#include "core/stats.hpp"
+#include "lockstep/blocked.hpp"
+#include "lockstep/lockstep.hpp"
+#include "runtime/hybrid.hpp"
+#include "simd/batch.hpp"
+
+namespace tb::lockstep {
+
+// Broadcast-form dual-bound box test shared by the classic and blocked
+// kernels (the gather-form twin for node vectors is
+// MinmaxDistProgram::improves_mask): bit l set when `node`'s box could
+// still improve lane l's nearest (min) or farthest (max) bound.
+template <int W>
+inline std::uint32_t minmaxdist_gain_mask(const spatial::KdTree& tree, std::int32_t node,
+                                          const simd::batch<float, W>& qx,
+                                          const simd::batch<float, W>& qy,
+                                          const simd::batch<float, W>& qz,
+                                          const simd::batch<float, W>& cur_min,
+                                          const simd::batch<float, W>& cur_max) {
+  using BF = simd::batch<float, W>;
+  const BF zero = BF::zero();
+  const auto nn = static_cast<std::size_t>(node);
+  const BF lox = BF::broadcast(tree.min_x[nn]) - qx;
+  const BF hix = qx - BF::broadcast(tree.max_x[nn]);
+  const BF loy = BF::broadcast(tree.min_y[nn]) - qy;
+  const BF hiy = qy - BF::broadcast(tree.max_y[nn]);
+  const BF loz = BF::broadcast(tree.min_z[nn]) - qz;
+  const BF hiz = qz - BF::broadcast(tree.max_z[nn]);
+  const BF dx = BF::max(BF::max(lox, hix), zero);
+  const BF dy = BF::max(BF::max(loy, hiy), zero);
+  const BF dz = BF::max(BF::max(loz, hiz), zero);
+  const std::uint32_t near_gain = simd::cmp_lt(dx * dx + dy * dy + dz * dz, cur_min);
+  // Farthest corner: per-dim the larger one-sided offset (-lox = qx - min_x,
+  // -hix = max_x - qx).
+  const BF fx = BF::max(-lox, -hix);
+  const BF fy = BF::max(-loy, -hiy);
+  const BF fz = BF::max(-loz, -hiz);
+  const std::uint32_t far_gain = simd::cmp_gt(fx * fx + fy * fy + fz * fz, cur_max);
+  return near_gain | far_gain;
+}
+
+// Classic lockstep (prior-work, data-parallel-only) kernel.
+inline void lockstep_minmaxdist(const apps::MinmaxDistProgram& prog,
+                                LockstepStats* stats = nullptr) {
+  constexpr int W = apps::MinmaxDistProgram::simd_width;
+  using BF = simd::batch<float, W>;
+  const spatial::KdTree& tree = *prog.tree;
+  const spatial::Bodies& pts = *prog.points;
+  apps::MinmaxDistState& state = *prog.state;
+  const std::size_t n = pts.size();
+
+  for (std::size_t q0 = 0; q0 < n; q0 += W) {
+    const int lanes = static_cast<int>(std::min<std::size_t>(W, n - q0));
+    const std::uint32_t init = lanes == W ? simd::mask_all<W> : ((1u << lanes) - 1u);
+    BF qx, qy, qz;
+    std::int32_t qid[W];
+    for (int l = 0; l < W; ++l) {
+      const std::size_t q = q0 + static_cast<std::size_t>(l < lanes ? l : 0);
+      qid[l] = static_cast<std::int32_t>(q);
+      qx.set(l, pts.x[q]);
+      qy.set(l, pts.y[q]);
+      qz.set(l, pts.z[q]);
+    }
+
+    traverse<W>(
+        tree.root, init,
+        [&](std::int32_t node, std::int32_t* out) {
+          int c = 0;
+          const auto nn = static_cast<std::size_t>(node);
+          if (tree.left[nn] != spatial::KdTree::kNoChild) out[c++] = tree.left[nn];
+          if (tree.right[nn] != spatial::KdTree::kNoChild) out[c++] = tree.right[nn];
+          return c;
+        },
+        [&](std::int32_t node, std::uint32_t mask) -> std::uint32_t {
+          BF cur_min, cur_max;
+          for (int l = 0; l < W; ++l) {
+            cur_min.set(l, state.min_bound(qid[l]));
+            cur_max.set(l, state.max_bound(qid[l]));
+          }
+          const std::uint32_t live =
+              mask & minmaxdist_gain_mask<W>(tree, node, qx, qy, qz, cur_min, cur_max);
+          if (live == 0 || !tree.is_leaf(node)) return live;
+          // Scalar base case per live lane (bit-identical extremes across
+          // schedulers; see the blocked kernel below).
+          std::uint32_t m = live;
+          while (m != 0) {
+            const int l = std::countr_zero(m);
+            m &= m - 1;
+            apps::MinmaxDistProgram::Result dummy = 0;
+            prog.leaf(apps::MinmaxDistProgram::Task{qid[l], node}, dummy);
+          }
+          return 0;
+        },
+        stats);
+  }
+}
+
+// ---- blocked / hybrid port ------------------------------------------------------
+
+template <int W>
+struct MinmaxDistBlockedKernel {
+  using BF = simd::batch<float, W>;
+  using BI = simd::batch<std::int32_t, W>;
+
+  const apps::MinmaxDistProgram& prog;
+
+  int children(std::int32_t node, std::int32_t* out) const {
+    const spatial::KdTree& tree = *prog.tree;
+    const auto nn = static_cast<std::size_t>(node);
+    int c = 0;
+    if (tree.left[nn] != spatial::KdTree::kNoChild) out[c++] = tree.left[nn];
+    if (tree.right[nn] != spatial::KdTree::kNoChild) out[c++] = tree.right[nn];
+    return c;
+  }
+
+  std::uint32_t step(std::int32_t node, const BI& qid, std::uint32_t mask) const {
+    const spatial::KdTree& tree = *prog.tree;
+    const spatial::Bodies& pts = *prog.points;
+    apps::MinmaxDistState& state = *prog.state;
+    const BF qx = simd::gather(pts.x.data(), qid);
+    const BF qy = simd::gather(pts.y.data(), qid);
+    const BF qz = simd::gather(pts.z.data(), qid);
+    BF cur_min, cur_max;
+    for (int l = 0; l < W; ++l) {
+      cur_min.set(l, state.min_bound(qid[l]));
+      cur_max.set(l, state.max_bound(qid[l]));
+    }
+    const std::uint32_t live =
+        mask & minmaxdist_gain_mask<W>(tree, node, qx, qy, qz, cur_min, cur_max);
+    if (live == 0 || !tree.is_leaf(node)) return live;
+    // Scalar base case per live lane: the final extremes must be
+    // bit-identical across schedulers, and vectorized distance math can
+    // differ from the scalar path by an ulp under FMA contraction.
+    std::uint32_t m = live;
+    while (m != 0) {
+      const int l = std::countr_zero(m);
+      m &= m - 1;
+      apps::MinmaxDistProgram::Result dummy = 0;
+      prog.leaf(apps::MinmaxDistProgram::Task{qid[l], node}, dummy);
+    }
+    return 0;
+  }
+};
+
+template <int W = apps::MinmaxDistProgram::simd_width>
+void blocked_minmaxdist_range(const apps::MinmaxDistProgram& prog, std::int32_t first,
+                              std::int32_t n, BlockedTraversal<W>& engine,
+                              core::ExecStats* stats = nullptr) {
+  MinmaxDistBlockedKernel<W> k{prog};
+  engine.run(
+      prog.tree->root, char{0}, first, n,
+      [&](std::int32_t node, std::int32_t* out) { return k.children(node, out); },
+      [&](std::int32_t node, const typename MinmaxDistBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, char) { return k.step(node, qid, mask); },
+      [](char p) { return p; }, stats);
+}
+
+template <int W = apps::MinmaxDistProgram::simd_width>
+void blocked_minmaxdist(const apps::MinmaxDistProgram& prog, std::size_t t_reexp = 0,
+                        core::ExecStats* stats = nullptr) {
+  BlockedTraversal<W> engine(t_reexp);
+  blocked_minmaxdist_range<W>(prog, 0, static_cast<std::int32_t>(prog.points->size()),
+                              engine, stats);
+}
+
+template <int W = apps::MinmaxDistProgram::simd_width>
+void hybrid_minmaxdist(rt::ForkJoinPool& pool, const apps::MinmaxDistProgram& prog,
+                       const rt::HybridOptions& opt = {},
+                       core::PerWorkerStats* stats = nullptr) {
+  rt::hybrid_run<BlockedTraversal<W>>(
+      pool, static_cast<std::int32_t>(prog.points->size()), opt, stats,
+      [&](std::int32_t b, std::int32_t e, std::size_t, BlockedTraversal<W>& engine,
+          core::ExecStats& st) {
+        blocked_minmaxdist_range<W>(prog, b, e - b, engine, &st);
+      });
+}
+
+}  // namespace tb::lockstep

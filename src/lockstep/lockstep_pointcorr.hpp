@@ -12,9 +12,14 @@
 
 #include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "apps/pointcorr.hpp"
+#include "core/stats.hpp"
+#include "lockstep/blocked.hpp"
 #include "lockstep/lockstep.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/hybrid.hpp"
 #include "simd/batch.hpp"
 
 namespace tb::lockstep {
@@ -79,6 +84,109 @@ inline std::uint64_t lockstep_pointcorr(const apps::PointCorrProgram& prog,
         },
         stats);
   }
+  return total;
+}
+
+// ---- blocked / hybrid port ------------------------------------------------------
+//
+// The same ball–box test and leaf stream, ported onto the blocked
+// re-expansion engine: the node is still uniform per frame (bounds
+// broadcast), but query coordinates are gathered by id because compaction
+// regroups queries at every node.  Pruning criteria are identical per
+// (query, node) pair, so counts stay bit-identical to the recursive
+// formulation.
+template <int W>
+struct PointCorrBlockedKernel {
+  using BF = simd::batch<float, W>;
+  using BI = simd::batch<std::int32_t, W>;
+
+  const apps::PointCorrProgram& prog;
+  std::uint64_t count = 0;
+
+  int children(std::int32_t node, std::int32_t* out) const {
+    const spatial::KdTree& tree = *prog.tree;
+    const auto nn = static_cast<std::size_t>(node);
+    int c = 0;
+    if (tree.left[nn] != spatial::KdTree::kNoChild) out[c++] = tree.left[nn];
+    if (tree.right[nn] != spatial::KdTree::kNoChild) out[c++] = tree.right[nn];
+    return c;
+  }
+
+  std::uint32_t step(std::int32_t node, const BI& qid, std::uint32_t mask) {
+    const spatial::KdTree& tree = *prog.tree;
+    const spatial::Bodies& pts = *prog.points;
+    const BF r2 = BF::broadcast(prog.rad2);
+    const BF zero = BF::zero();
+    const auto nn = static_cast<std::size_t>(node);
+    const BF qx = simd::gather(pts.x.data(), qid);
+    const BF qy = simd::gather(pts.y.data(), qid);
+    const BF qz = simd::gather(pts.z.data(), qid);
+    const BF lox = BF::broadcast(tree.min_x[nn]) - qx;
+    const BF hix = qx - BF::broadcast(tree.max_x[nn]);
+    const BF loy = BF::broadcast(tree.min_y[nn]) - qy;
+    const BF hiy = qy - BF::broadcast(tree.max_y[nn]);
+    const BF loz = BF::broadcast(tree.min_z[nn]) - qz;
+    const BF hiz = qz - BF::broadcast(tree.max_z[nn]);
+    const BF dx = BF::max(BF::max(lox, hix), zero);
+    const BF dy = BF::max(BF::max(loy, hiy), zero);
+    const BF dz = BF::max(BF::max(loz, hiz), zero);
+    const std::uint32_t live = mask & simd::cmp_le(dx * dx + dy * dy + dz * dz, r2);
+    if (live == 0 || !tree.is_leaf(node)) return live;
+    for (std::int32_t j = tree.leaf_begin[nn]; j < tree.leaf_end[nn]; ++j) {
+      const auto jj = static_cast<std::size_t>(j);
+      const BF dxp = BF::broadcast(tree.px[jj]) - qx;
+      const BF dyp = BF::broadcast(tree.py[jj]) - qy;
+      const BF dzp = BF::broadcast(tree.pz[jj]) - qz;
+      count += std::popcount(live &
+                             simd::cmp_le(dxp * dxp + dyp * dyp + dzp * dzp, r2));
+    }
+    return 0;
+  }
+};
+
+// Single-core blocked traversal of the queries [first, first + n); pass an
+// engine to reuse its block pool across calls (the hybrid executor keeps one
+// per worker).
+template <int W = apps::PointCorrProgram::simd_width>
+std::uint64_t blocked_pointcorr_range(const apps::PointCorrProgram& prog,
+                                      std::int32_t first, std::int32_t n,
+                                      BlockedTraversal<W>& engine,
+                                      core::ExecStats* stats = nullptr) {
+  PointCorrBlockedKernel<W> k{prog};
+  engine.run(
+      prog.tree->root, char{0}, first, n,
+      [&](std::int32_t node, std::int32_t* out) { return k.children(node, out); },
+      [&](std::int32_t node, const typename PointCorrBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, char) { return k.step(node, qid, mask); },
+      [](char p) { return p; }, stats);
+  return k.count;
+}
+
+template <int W = apps::PointCorrProgram::simd_width>
+std::uint64_t blocked_pointcorr(const apps::PointCorrProgram& prog,
+                                std::size_t t_reexp = 0,
+                                core::ExecStats* stats = nullptr) {
+  BlockedTraversal<W> engine(t_reexp);
+  return blocked_pointcorr_range<W>(prog, 0, static_cast<std::int32_t>(prog.points->size()),
+                                    engine, stats);
+}
+
+// Hybrid vector×multicore: blocked traversal per worker over pool-distributed
+// query ranges (runtime/hybrid.hpp).
+template <int W = apps::PointCorrProgram::simd_width>
+std::uint64_t hybrid_pointcorr(rt::ForkJoinPool& pool, const apps::PointCorrProgram& prog,
+                               const rt::HybridOptions& opt = {},
+                               core::PerWorkerStats* stats = nullptr) {
+  std::vector<rt::Padded<std::uint64_t>> parts(
+      static_cast<std::size_t>(rt::hybrid_slots(pool)));
+  rt::hybrid_run<BlockedTraversal<W>>(
+      pool, static_cast<std::int32_t>(prog.points->size()), opt, stats,
+      [&](std::int32_t b, std::int32_t e, std::size_t slot, BlockedTraversal<W>& engine,
+          core::ExecStats& st) {
+        parts[slot].value += blocked_pointcorr_range<W>(prog, b, e - b, engine, &st);
+      });
+  std::uint64_t total = 0;
+  for (const auto& p : parts) total += p.value;
   return total;
 }
 

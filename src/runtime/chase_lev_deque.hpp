@@ -94,8 +94,14 @@ private:
   struct Ring {
     explicit Ring(std::int64_t cap)
         : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
-    T* get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_relaxed); }
-    void put(std::int64_t i, T* v) { slots[i & mask].store(v, std::memory_order_relaxed); }
+    // Release/acquire on the slot itself: the algorithm's fences already
+    // order the index protocol, but the *pointed-to* job contents need a
+    // happens-before edge from the producer's construction to the taker's
+    // execution.  Slot-level ordering provides it directly (free on x86 —
+    // plain loads/stores) and keeps the handoff visible to TSan, which does
+    // not model std::atomic_thread_fence.
+    T* get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_acquire); }
+    void put(std::int64_t i, T* v) { slots[i & mask].store(v, std::memory_order_release); }
 
     const std::int64_t capacity;
     const std::int64_t mask;

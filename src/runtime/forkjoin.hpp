@@ -163,6 +163,14 @@ public:
     return workers_[static_cast<std::size_t>(tls_.id)]->deque.pop_bottom();
   }
 
+  // True when the calling worker's own deque holds no stealable work — the
+  // lazy-splitting signal of the hybrid executor (runtime/hybrid.hpp): an
+  // empty local deque means a hungry thief would find nothing here.
+  bool local_queue_empty() const {
+    assert(tls_.pool == this);
+    return workers_[static_cast<std::size_t>(tls_.id)]->deque.empty_approx();
+  }
+
   // Runs a job obtained from a deque.  Jobs already taken by another
   // thread are skipped (possible only for injector re-offers; deque hands
   // each entry to exactly one taker).

@@ -1,0 +1,147 @@
+// Hybrid vector×multicore executor: lockstep SIMD blocks on the
+// work-stealing pool.
+//
+// The paper's headline claim is that the two parallelism dimensions
+// *compose*: blocked re-expansion keeps SIMD lanes full while work stealing
+// keeps cores busy.  This header supplies the multicore half for the
+// blocked-traversal engine (lockstep/blocked.hpp): the data-parallel query
+// range is distributed over ForkJoinPool workers, and every range a worker
+// receives is re-expanded into a fresh dense root block on that worker's
+// engine (its per-worker block pool), then walked with compaction +
+// re-expansion exactly as in the single-core case.
+//
+// Two partitioning modes:
+//
+//   dynamic (default) — steal-aware lazy binary splitting.  The whole
+//     range starts as one job.  Before processing a range, a worker splits
+//     it in half (spawning the right half as a stealable job) only while
+//     its *local deque is empty* — i.e., exactly when a hungry thief would
+//     find nothing to steal here — or when the range itself just arrived by
+//     steal.  A worker whose deque still holds an unstolen half keeps its
+//     range whole, which maximizes root block density; every actual steal
+//     drains the victim's deque and thereby triggers the next split.  A
+//     1-worker pool degenerates to exactly the single-core blocked
+//     traversal.  Per-slot stats are attributed to the executing worker.
+//
+//   static — exactly one equal chunk per worker slot, spawned up front.
+//     The partition (and therefore every per-slot step count) is
+//     deterministic regardless of which thread executes which chunk, which
+//     is what lets the fig4 nightly gate diff hybrid SIMD-utilization
+//     records exactly.
+//
+// Per-slot ExecStats surface through core::PerWorkerStats (core/stats.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "runtime/forkjoin.hpp"
+
+namespace tb::rt {
+
+struct HybridOptions {
+  // Re-expansion threshold handed to the per-worker blocked engines: frames
+  // below this many live queries finish in masked-lockstep mode.
+  std::size_t t_reexp = 0;
+  // Minimum queries per spawned range (dynamic mode); 0 = auto
+  // (~8 leaf ranges per worker when fully split).
+  std::int32_t grain = 0;
+  // Deterministic one-chunk-per-slot partition (see header comment).
+  bool static_partition = false;
+};
+
+// Number of per-slot contexts (engines, stats, partial results) a hybrid
+// run over `pool` needs.  Both modes use one slot per worker.
+inline int hybrid_slots(const ForkJoinPool& pool) { return pool.num_workers(); }
+
+namespace detail {
+
+template <class Fn>
+void hybrid_range(ForkJoinPool& pool, std::int32_t b, std::int32_t e, int home,
+                  std::int32_t grain, WaitGroup& wg, Fn& fn) {
+  const int wid = ForkJoinPool::worker_id();
+  // Steal-aware re-expansion: a stolen range (home != wid) splits so the
+  // thief immediately re-seeds its own deque, and any range whose worker
+  // has an empty deque splits so hungry thieves find work; each half
+  // re-expands into a dense root block wherever it lands.  A worker whose
+  // deque still holds an unstolen half keeps the range whole — the split
+  // cascade advances one level per steal/pop, never eagerly to grain.
+  while ((home != wid || pool.local_queue_empty()) && e - b > 2 * grain) {
+    const std::int32_t mid = b + (e - b) / 2;
+    pool.spawn_detached(
+        [&pool, mid, e, wid, grain, &wg, &fn] {
+          hybrid_range(pool, mid, e, wid, grain, wg, fn);
+        },
+        wg);
+    e = mid;
+    home = wid;
+  }
+  fn(b, e, wid);
+}
+
+}  // namespace detail
+
+// Runs fn(begin, end, slot) over disjoint subranges of [0, n) on the pool's
+// workers.  `slot` indexes per-slot contexts: the chunk index in static
+// mode (deterministic), the executing worker id in dynamic mode.  Ranges
+// mapped to one slot never execute concurrently, so per-slot state needs no
+// synchronization.  Must be called from a non-worker thread.
+template <class Fn>
+void hybrid_for(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt, Fn&& fn) {
+  if (n <= 0) return;
+  const int slots = hybrid_slots(pool);
+  if (opt.static_partition) {
+    pool.run([&] {
+      WaitGroup wg;
+      for (int c = 0; c < slots; ++c) {
+        const std::int32_t b = static_cast<std::int32_t>(
+            (static_cast<std::int64_t>(n) * c) / slots);
+        const std::int32_t e = static_cast<std::int32_t>(
+            (static_cast<std::int64_t>(n) * (c + 1)) / slots);
+        if (b >= e) continue;
+        pool.spawn_detached([&fn, b, e, c] { fn(b, e, c); }, wg);
+      }
+      pool.wait(wg);
+    });
+    return;
+  }
+  if (slots == 1) {
+    // Degenerate pool: one dense root block, no splitting overhead.
+    pool.run([&fn, n] { fn(0, n, ForkJoinPool::worker_id()); });
+    return;
+  }
+  const std::int32_t grain =
+      opt.grain > 0 ? opt.grain
+                    : std::max<std::int32_t>(1, n / (slots * 8));
+  pool.run([&] {
+    WaitGroup wg;
+    detail::hybrid_range(pool, 0, n, /*home=*/-1, grain, wg, fn);
+    pool.wait(wg);
+  });
+}
+
+// Shared scaffold of the kernel-level hybrid wrappers (hybrid_pointcorr &
+// co.): one blocked engine per slot, per-slot ExecStats plumbing, range
+// distribution.  `range_fn(begin, end, slot, engine, stats)` runs the
+// kernel's blocked traversal for one range; per-slot accumulators in the
+// caller should index by the same `slot` (never by worker id — in static
+// mode the slot is the chunk index).
+template <class Engine, class RangeFn>
+void hybrid_run(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt,
+                core::PerWorkerStats* stats, RangeFn&& range_fn) {
+  const int slots = hybrid_slots(pool);
+  core::PerWorkerStats local;
+  core::PerWorkerStats& pw = stats ? *stats : local;
+  pw.reset(static_cast<std::size_t>(slots));
+  std::vector<Engine> engines;
+  engines.reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) engines.emplace_back(opt.t_reexp);
+  hybrid_for(pool, n, opt, [&](std::int32_t b, std::int32_t e, int slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    range_fn(b, e, s, engines[s], pw.workers[s]);
+  });
+}
+
+}  // namespace tb::rt

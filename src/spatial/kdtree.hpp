@@ -43,6 +43,18 @@ public:
     return dx * dx + dy * dy + dz * dz;
   }
 
+  // Squared distance from (x,y,z) to the farthest corner of the node's
+  // bounding box — the upper-bound companion of box_dist2, used by the
+  // min/max-extent traversal (apps/minmaxdist.hpp) to prune subtrees that
+  // cannot improve a query's farthest-point bound.
+  float box_maxdist2(std::int32_t node, float x, float y, float z) const {
+    const auto i = static_cast<std::size_t>(node);
+    const float dx = std::max(x - min_x[i], max_x[i] - x);
+    const float dy = std::max(y - min_y[i], max_y[i] - y);
+    const float dz = std::max(z - min_z[i], max_z[i] - z);
+    return dx * dx + dy * dy + dz * dz;
+  }
+
   static KdTree build(const Bodies& pts, int leaf_capacity = 16) {
     KdTree t;
     const std::size_t n = pts.size();

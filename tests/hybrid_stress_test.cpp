@@ -1,0 +1,129 @@
+// Stress suite for the hybrid vector×multicore executor, picked up by the
+// weekly TSan soak (label `stress`, tsan-soak.yml): oversubscribed pools,
+// repeated dynamic-partition runs (different steal interleavings each
+// time), and the shared-mutable-state apps — knn's spinlocked k-best lists
+// and atomic bounds, minmaxdist's CAS loops, Barnes-Hut's atomic force
+// scatter — all driven through per-worker engines concurrently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/barneshut.hpp"
+#include "apps/knn.hpp"
+#include "apps/minmaxdist.hpp"
+#include "apps/pointcorr.hpp"
+#include "core/driver.hpp"
+#include "lockstep/lockstep_barneshut.hpp"
+#include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_minmax.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "spatial/bodies.hpp"
+#include "spatial/kdtree.hpp"
+#include "spatial/octree.hpp"
+
+namespace {
+
+using namespace tb;
+
+constexpr std::size_t kPoints = 4000;
+constexpr int kWorkers = 8;  // oversubscribes typical CI hosts: steals mid-run
+constexpr int kRepeats = 3;
+
+struct Fixture {
+  spatial::Bodies pts = spatial::Bodies::uniform_cube(kPoints, 41);
+  spatial::KdTree kdtree = spatial::KdTree::build(pts, 16);
+  spatial::Bodies bodies = spatial::Bodies::plummer(kPoints, 43);
+  spatial::Octree octree = spatial::Octree::build(bodies, 8);
+};
+
+Fixture& fix() {
+  static Fixture f;
+  return f;
+}
+
+rt::HybridOptions opts(std::size_t t_reexp, std::int32_t grain) {
+  rt::HybridOptions o;
+  o.t_reexp = t_reexp;
+  o.grain = grain;  // small grain: many spawned ranges, heavy stealing
+  return o;
+}
+
+TEST(HybridStress, PointCorrRepeatedDynamicRuns) {
+  auto& f = fix();
+  const apps::PointCorrProgram prog{&f.pts, &f.kdtree, 0.02f};
+  const std::uint64_t expected = apps::pointcorr_sequential(prog);
+  rt::ForkJoinPool pool(kWorkers);
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::size_t t : {std::size_t{0}, std::size_t{32}}) {
+      EXPECT_EQ(lockstep::hybrid_pointcorr<8>(pool, prog, opts(t, 64)), expected);
+    }
+  }
+}
+
+TEST(HybridStress, KnnSharedStateUnderStealing) {
+  auto& f = fix();
+  const int k = 4;
+  apps::KnnState oracle(f.pts.size(), k);
+  {
+    apps::KnnProgram prog{&f.pts, &f.kdtree, &oracle};
+    apps::knn_sequential(prog);
+  }
+  rt::ForkJoinPool pool(kWorkers);
+  for (int r = 0; r < kRepeats; ++r) {
+    apps::KnnState state(f.pts.size(), k);
+    apps::KnnProgram prog{&f.pts, &f.kdtree, &state};
+    lockstep::hybrid_knn<8>(pool, prog, opts(16, 32));
+    for (const std::int32_t q : {0, 999, 2500, 3999}) {
+      EXPECT_EQ(state.distances(q), oracle.distances(q)) << "query " << q;
+    }
+  }
+}
+
+TEST(HybridStress, MinmaxDistCasLoopsUnderStealing) {
+  auto& f = fix();
+  apps::MinmaxDistState oracle(f.pts.size());
+  {
+    apps::MinmaxDistProgram prog{&f.pts, &f.kdtree, &oracle};
+    apps::minmaxdist_sequential(prog);
+  }
+  const std::string expected = apps::minmaxdist_digest(oracle);
+  rt::ForkJoinPool pool(kWorkers);
+  for (int r = 0; r < kRepeats; ++r) {
+    apps::MinmaxDistState state(f.pts.size());
+    apps::MinmaxDistProgram prog{&f.pts, &f.kdtree, &state};
+    lockstep::hybrid_minmaxdist<8>(pool, prog, opts(16, 32));
+    EXPECT_EQ(apps::minmaxdist_digest(state), expected);
+  }
+}
+
+TEST(HybridStress, BarnesHutAtomicForceScatter) {
+  auto& f = fix();
+  const float theta = 0.5f;
+  const std::size_t n = f.bodies.size();
+  std::vector<float> ax(n, 0), ay(n, 0), az(n, 0);
+  apps::BarnesHutProgram seq_prog{&f.bodies, &f.octree, ax.data(), ay.data(), az.data()};
+  const std::uint64_t expected = apps::barneshut_sequential(seq_prog, theta);
+  rt::ForkJoinPool pool(kWorkers);
+  for (int r = 0; r < kRepeats; ++r) {
+    std::vector<float> hx(n, 0), hy(n, 0), hz(n, 0);
+    apps::BarnesHutProgram prog{&f.bodies, &f.octree, hx.data(), hy.data(), hz.data()};
+    EXPECT_EQ(lockstep::hybrid_barneshut<8>(pool, prog, theta, opts(32, 64)), expected);
+  }
+}
+
+// Mixed W=4/W=8 hybrid runs interleaved on one pool — engine contexts are
+// per-invocation, so alternating widths must not interfere.
+TEST(HybridStress, AlternatingLaneWidths) {
+  auto& f = fix();
+  const apps::PointCorrProgram prog{&f.pts, &f.kdtree, 0.02f};
+  const std::uint64_t expected = apps::pointcorr_sequential(prog);
+  rt::ForkJoinPool pool(kWorkers);
+  for (int r = 0; r < kRepeats; ++r) {
+    EXPECT_EQ(lockstep::hybrid_pointcorr<4>(pool, prog, opts(8, 48)), expected);
+    EXPECT_EQ(lockstep::hybrid_pointcorr<8>(pool, prog, opts(8, 48)), expected);
+  }
+}
+
+}  // namespace

@@ -60,13 +60,25 @@ TEST_P(SuiteDigest, PoolAndIdealConfigsMatchOracle) {
   ideal.th = b.thresholds();
   EXPECT_EQ(b.run_blocked(ideal), expected) << "ideal";
   EXPECT_EQ(b.run_cilk(pool), expected) << "cilk";
+  if (b.has_hybrid()) {
+    tb::rt::HybridOptions opt;
+    opt.t_reexp = b.default_hybrid_reexp();
+    for (const int lanes : {0, 4}) {
+      EXPECT_EQ(b.run_hybrid(pool, opt, nullptr, lanes), expected)
+          << "hybrid lanes=" << lanes;
+      opt.static_partition = true;
+      EXPECT_EQ(b.run_hybrid(pool, opt, nullptr, lanes), expected)
+          << "hybrid static lanes=" << lanes;
+      opt.static_partition = false;
+    }
+  }
 }
 
 TEST_P(SuiteDigest, CensusAgreesWithScheduledStats) {
   IBench& b = *suite()[static_cast<std::size_t>(GetParam())];
-  if (b.name() == "knn") {
-    // knn's traversal counts are schedule-dependent (shrinking bounds);
-    // its digest tests cover correctness instead.
+  if (b.name() == "knn" || b.name() == "minmaxdist") {
+    // Traversal counts with shared shrinking/growing bounds are
+    // schedule-dependent; the digest tests cover correctness instead.
     GTEST_SKIP();
   }
   const auto info = b.census();
@@ -89,15 +101,15 @@ TEST_P(SuiteDigest, DefaultsAreSane) {
   EXPECT_EQ(th.t_restart, b.default_restart());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteDigest, ::testing::Range(0, 11),
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteDigest, ::testing::Range(0, 12),
                          [](const auto& info) {
                            return suite()[static_cast<std::size_t>(info.param)]->name();
                          });
 
-TEST(SuiteFactory, ScalesProduceElevenBenchmarks) {
+TEST(SuiteFactory, ScalesProduceTwelveBenchmarks) {
   for (const char* scale : {"test", "default"}) {
     const auto s = tbench::make_suite(scale);
-    EXPECT_EQ(s.size(), 11u) << scale;
+    EXPECT_EQ(s.size(), 12u) << scale;
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "apps/parentheses.hpp"
 #include "core/driver.hpp"
 #include "runtime/forkjoin.hpp"
+#include "runtime/hybrid.hpp"
 #include "sim/par_sim.hpp"
 #include "tests/support/rng.hpp"
 
@@ -169,6 +171,61 @@ void expect_par_matrix(const Program& prog, std::span<const typename Program::Ta
     EXPECT_EQ((core::run_par_reexp<core::SimdExec<Program>>(pool, prog, roots, th)), expected);
     EXPECT_EQ((core::run_par_restart<core::SimdExec<Program>>(pool, prog, roots, th)),
               expected);
+  }
+}
+
+// ---- hybrid-executor matrix -------------------------------------------------------
+
+// One cell of the hybrid vector×multicore matrix (runtime/hybrid.hpp): the
+// acceptance axes are worker count × re-expansion threshold × partition
+// mode; the engine width W ∈ {4, 8} is a template parameter the suites loop
+// at compile time.  Thresholds span pure-blocked (0), a mid value that
+// exercises both modes, and "larger than any query set" (the degenerate
+// classic-lockstep case).
+struct HybridCase {
+  int workers;
+  std::size_t t_reexp;
+  bool static_partition;
+
+  tb::rt::HybridOptions options() const {
+    tb::rt::HybridOptions o;
+    o.t_reexp = t_reexp;
+    o.static_partition = static_partition;
+    return o;
+  }
+};
+
+inline const std::vector<HybridCase>& hybrid_cases() {
+  static const std::vector<HybridCase> kCases = [] {
+    std::vector<HybridCase> v;
+    for (const int w : {1, 2, 4}) {
+      for (const std::size_t t : {std::size_t{0}, std::size_t{16}, std::size_t{1} << 30}) {
+        for (const bool s : {false, true}) v.push_back({w, t, s});
+      }
+    }
+    return v;
+  }();
+  return kCases;
+}
+
+inline std::string hybrid_name(const HybridCase& c) {
+  return "w" + std::to_string(c.workers) + "_t" + std::to_string(c.t_reexp) +
+         (c.static_partition ? "_static" : "_dynamic");
+}
+
+// Invokes fn(pool, case) for every hybrid cell, constructing the pool once
+// per worker count, under a SCOPED_TRACE naming the cell.
+template <class F>
+void for_each_hybrid_case(F&& fn) {
+  int last_workers = 0;
+  std::unique_ptr<tb::rt::ForkJoinPool> pool;
+  for (const auto& c : hybrid_cases()) {
+    if (c.workers != last_workers) {
+      pool = std::make_unique<tb::rt::ForkJoinPool>(c.workers);
+      last_workers = c.workers;
+    }
+    SCOPED_TRACE(hybrid_name(c));
+    fn(*pool, c);
   }
 }
 
