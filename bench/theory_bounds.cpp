@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
         sim::CompTreeProgram prog{&f.tree};
         const std::vector roots{sim::CompTreeProgram::root()};
         core::ExecStats st;
-        const auto th = core::Thresholds::for_block_size(q, block, std::min<std::size_t>(block, 16));
+        const auto th =
+            core::Thresholds::for_block_size(q, block, std::min<std::size_t>(block, 16));
         (void)core::run_seq<core::SoaExec<sim::CompTreeProgram>>(prog, roots, pol, th, &st);
         double bound = 0;
         switch (pol) {

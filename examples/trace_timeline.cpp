@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res.peak_space_tasks),
                 check.ok ? "" : "  [TRACE CHECK FAILED]");
     std::printf("%s", tb::sim::render_timeline(trace, cores, cfg.q, 72).c_str());
-    std::printf("util  |%s|\n\n", sparkline(tb::sim::utilization_series(trace, cfg.q, 72)).c_str());
+    std::printf("util  |%s|\n\n",
+                sparkline(tb::sim::utilization_series(trace, cfg.q, 72)).c_str());
   }
   return 0;
 }

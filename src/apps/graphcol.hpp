@@ -152,7 +152,8 @@ struct GraphColProgram {
   static Task root() { return Task{0, 0, 0}; }
 };
 
-inline std::uint64_t graphcol_sequential(const GraphColInstance& g, const GraphColProgram::Task& t) {
+inline std::uint64_t graphcol_sequential(const GraphColInstance& g,
+                                         const GraphColProgram::Task& t) {
   GraphColProgram prog{&g};
   if (prog.is_base(t)) return 1;
   std::uint64_t total = 0;

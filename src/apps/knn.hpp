@@ -251,7 +251,8 @@ inline std::vector<float> knn_bruteforce(const spatial::Bodies& pts, std::int32_
     d2.push_back(dx * dx + dy * dy + dz * dz);
   }
   std::sort(d2.begin(), d2.end());
-  d2.resize(static_cast<std::size_t>(std::min<std::size_t>(static_cast<std::size_t>(k), d2.size())));
+  d2.resize(static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(k), d2.size())));
   return d2;
 }
 

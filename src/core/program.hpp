@@ -59,7 +59,8 @@ concept SoaProgram = TaskProgram<P> && requires(const typename P::Block& b, std:
 
 // A SoA program with a hand-written vector kernel.
 template <class P>
-concept SimdProgram = SoaProgram<P> && requires { { P::simd_width } -> std::convertible_to<int>; };
+concept SimdProgram =
+    SoaProgram<P> && requires { { P::simd_width } -> std::convertible_to<int>; };
 
 // ---- execution layers ---------------------------------------------------------
 
@@ -83,7 +84,9 @@ struct AosExec {
         p.leaf(t, r);
         ++leaves;
       } else {
-        p.expand(t, [&](int slot, const Task& c) { outs[static_cast<std::size_t>(slot)]->push_back(c); });
+        p.expand(t, [&](int slot, const Task& c) {
+          outs[static_cast<std::size_t>(slot)]->push_back(c);
+        });
       }
     }
   }

@@ -114,7 +114,9 @@ public:
         if (lanes == W) {
           q = BI::loadu(ids + i);
         } else {
-          for (int l = 0; l < W; ++l) q.set(l, ids[i + static_cast<std::size_t>(l < lanes ? l : 0)]);
+          for (int l = 0; l < W; ++l) {
+            q.set(l, ids[i + static_cast<std::size_t>(l < lanes ? l : 0)]);
+          }
         }
         const std::uint32_t valid = lanes == W ? kFullMask : ((1u << lanes) - 1u);
         const std::uint32_t m = step(f.node, q, valid, f.payload) & valid;

@@ -163,7 +163,8 @@ inline TraceCheck check_trace(const Trace& trace, int num_cores,
 inline std::string render_timeline(const Trace& trace, int num_cores, int q, int width = 72) {
   const std::uint64_t span = std::max<std::uint64_t>(trace.end_time(), 1);
   const auto bucket_of = [&](std::uint64_t t) {
-    return std::min<std::size_t>(static_cast<std::size_t>(t * static_cast<std::uint64_t>(width) / span),
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(t * static_cast<std::uint64_t>(width) / span),
                                  static_cast<std::size_t>(width - 1));
   };
   // Per core × bucket: accumulated exec steps, complete steps, steal steps.
@@ -182,7 +183,8 @@ inline std::string render_timeline(const Trace& trace, int num_cores, int q, int
       if (e.kind == TraceKind::ExecBFE || e.kind == TraceKind::ExecDFE) {
         const double steps = static_cast<double>(e.dur) * per;
         cell.exec += steps;
-        cell.complete += static_cast<double>(e.size / static_cast<std::uint32_t>(std::max(q, 1))) * per;
+        cell.complete +=
+            static_cast<double>(e.size / static_cast<std::uint32_t>(std::max(q, 1))) * per;
       } else {
         cell.steal += per;
       }
@@ -222,7 +224,8 @@ inline std::vector<double> utilization_series(const Trace& trace, int q, int buc
         std::min<std::uint64_t>(e.t * static_cast<std::uint64_t>(buckets) / span,
                                 static_cast<std::uint64_t>(buckets - 1)));
     const auto b1 = static_cast<std::size_t>(std::min<std::uint64_t>(
-        (e.t + std::max<std::uint64_t>(e.dur, 1) - 1) * static_cast<std::uint64_t>(buckets) / span,
+        (e.t + std::max<std::uint64_t>(e.dur, 1) - 1) * static_cast<std::uint64_t>(buckets) /
+            span,
         static_cast<std::uint64_t>(buckets - 1)));
     const double per = 1.0 / static_cast<double>(b1 - b0 + 1);
     for (std::size_t b = b0; b <= b1; ++b) {

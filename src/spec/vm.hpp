@@ -210,14 +210,18 @@ inline IBatch<W> eval_blocked(const Chunk& ch, std::span<const IBatch<W>> params
       case OpCode::Div: {
         // No vector integer division on the target ISA; per-lane totals.
         B r;
-        for (int i = 0; i < W; ++i) r.lane[i] = div_total(stack[sp - 2].lane[i], stack[sp - 1].lane[i]);
+        for (int i = 0; i < W; ++i) {
+          r.lane[i] = div_total(stack[sp - 2].lane[i], stack[sp - 1].lane[i]);
+        }
         stack[sp - 2] = r;
         --sp;
         break;
       }
       case OpCode::Mod: {
         B r;
-        for (int i = 0; i < W; ++i) r.lane[i] = mod_total(stack[sp - 2].lane[i], stack[sp - 1].lane[i]);
+        for (int i = 0; i < W; ++i) {
+          r.lane[i] = mod_total(stack[sp - 2].lane[i], stack[sp - 1].lane[i]);
+        }
         stack[sp - 2] = r;
         --sp;
         break;

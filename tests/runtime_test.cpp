@@ -84,7 +84,9 @@ TEST(ChaseLev, ConcurrentStealConservation) {
   int pushed = 0;
   while (pushed < kItems) {
     const int burst = static_cast<int>(rng.below(64)) + 1;
-    for (int i = 0; i < burst && pushed < kItems; ++i) dq.push_bottom(&items[static_cast<std::size_t>(pushed++)]);
+    for (int i = 0; i < burst && pushed < kItems; ++i) {
+      dq.push_bottom(&items[static_cast<std::size_t>(pushed++)]);
+    }
     if (rng.below(4) == 0) {
       if (int* p = dq.pop_bottom()) taken[static_cast<std::size_t>(*p)].fetch_add(1);
     }

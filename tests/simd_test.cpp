@@ -285,7 +285,9 @@ TEST(SoaBlock, GrowthPreservesData) {
   SoaBlock<std::int32_t> blk;
   for (std::int32_t i = 0; i < 1000; ++i) blk.push_back(i);
   ASSERT_EQ(blk.size(), 1000u);
-  for (std::int32_t i = 0; i < 1000; ++i) EXPECT_EQ(std::get<0>(blk.row(static_cast<std::size_t>(i))), i);
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(std::get<0>(blk.row(static_cast<std::size_t>(i))), i);
+  }
 }
 
 TEST(SoaBlock, AppendCopy) {
@@ -385,7 +387,8 @@ TEST(SoaBlock, RandomizedAgainstModel) {
   }
   ASSERT_EQ(blk.size(), model.size());
   for (std::size_t i = 0; i < model.size(); ++i) {
-    EXPECT_EQ(blk.row(i), (std::tuple<std::int32_t, std::int32_t>{model[i].first, model[i].second}));
+    EXPECT_EQ(blk.row(i),
+              (std::tuple<std::int32_t, std::int32_t>{model[i].first, model[i].second}));
   }
 }
 

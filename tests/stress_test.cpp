@@ -208,7 +208,8 @@ TEST(SchedulerStress, ManyRoundsAlternatingPoliciesAndWorkers) {
   for (const int workers : {1, 3, 5}) {
     rt::ForkJoinPool pool(workers);
     for (const std::size_t block : {16u, 256u}) {
-      const auto th = core::Thresholds::for_block_size(8, block, std::max<std::size_t>(block / 8, 1));
+      const auto th =
+          core::Thresholds::for_block_size(8, block, std::max<std::size_t>(block / 8, 1));
       EXPECT_EQ((core::run_par_reexp<core::SimdExec<apps::FibProgram>>(pool, prog, roots, th)),
                 expected)
           << workers << "w block " << block;
