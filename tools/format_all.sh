@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Bulk clang-format pass over every tracked C++ file, with the same pinned
+# version the enforcing CI job uses (.github/workflows/ci.yml).  Run from
+# the repo root; commit the result as a dedicated formatting-only commit.
+set -eu
+
+FORMATTER=""
+for candidate in clang-format-18 clang-format; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    FORMATTER="$candidate"
+    break
+  fi
+done
+if [ -z "$FORMATTER" ]; then
+  echo "error: clang-format not found (CI pins clang-format-18)" >&2
+  exit 1
+fi
+
+"$FORMATTER" --version
+git ls-files '*.hpp' '*.cpp' | xargs "$FORMATTER" -i
+git diff --stat
