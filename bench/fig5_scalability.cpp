@@ -35,11 +35,13 @@
 namespace {
 
 constexpr const char* kFigBenches = "graphcol,uts,minmax,barneshut,pointcorr,knn";
-constexpr const char* kHybridBenches = "barneshut,pointcorr,knn,minmaxdist";
+constexpr const char* kHybridBenches = "barneshut,pointcorr,knn,minmaxdist,uts,nqueens";
 
 // Cores×lanes scaling of the hybrid executor: for each engine width, sweep
 // the worker count and report speedup over that width's own 1-worker run
 // (the lane dimension shows up as the gap between the W=4 and W=8 curves).
+// Task-block benchmarks (uts, nqueens) have a fixed lane width — their
+// vectorized expand kernel — so they contribute one curve at that width.
 void run_hybrid_mode(const tbench::Flags& flags, tbench::Reporter& rep) {
   const std::string scale = flags.get("scale", "default");
   const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
@@ -47,24 +49,27 @@ void run_hybrid_mode(const tbench::Flags& flags, tbench::Reporter& rep) {
   auto suite = tbench::make_suite(scale);
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name()) || !b->has_hybrid()) continue;
-    for (const int lanes : {4, 8}) {
+    const std::vector<int> lane_sweep =
+        b->hybrid_fixed_width() ? std::vector<int>{0} : std::vector<int>{4, 8};
+    for (const int lanes : lane_sweep) {
       // Threshold proportional to the *swept* width, not the build's
       // natural width, so the W=4 vs W=8 gap isn't confounded by a hidden
-      // tuning difference.
+      // tuning difference.  lanes == 0 means "the program's own width".
+      const int width = lanes == 0 ? b->q() : lanes;
       tb::rt::HybridOptions opt;
-      opt.t_reexp = 4 * static_cast<std::size_t>(lanes);
-      const std::string pol = "hybrid:w" + std::to_string(lanes);
+      opt.t_reexp = 4 * static_cast<std::size_t>(width);
+      const std::string pol = "hybrid:w" + std::to_string(width);
       double t1 = 0;
       for (int w = 1; w <= max_workers; w *= 2) {
         tb::rt::ForkJoinPool pool(w);
         tb::core::PerWorkerStats pw;
         const double t =
-            rep.add_timed(rep.make(b->name(), "hybrid:sweep", "w" + std::to_string(lanes),
+            rep.add_timed(rep.make(b->name(), "hybrid:sweep", "w" + std::to_string(width),
                                    "simd", w),
                           1, [&] { (void)b->run_hybrid(pool, opt, &pw, lanes); });
         if (w == 1) t1 = t;
         std::printf("%s,hybrid,%s,%d,%.2f\n", b->name().c_str(), pol.c_str(), w, t1 / t);
-        rep.add_metric(rep.make(b->name(), "hybrid:util", "w" + std::to_string(lanes),
+        rep.add_metric(rep.make(b->name(), "hybrid:util", "w" + std::to_string(width),
                                 "simd", w),
                        "utilization", pw.merged().simd_utilization());
       }

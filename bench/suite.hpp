@@ -113,12 +113,16 @@ public:
   virtual std::size_t default_block() const { return 1u << 10; }
   virtual std::size_t default_restart() const { return default_block() / 8; }
 
-  // Hybrid vector×multicore executor (runtime/hybrid.hpp): lockstep SIMD
-  // blocks on the work-stealing pool.  Only the traversal benchmarks
-  // support it; `lanes` selects the engine width: 0 = the program's natural
-  // width (4 without AVX2, 8 with), 4/8 = the explicit instantiations of
-  // the cores×lanes sweep.
+  // Hybrid vector×multicore executor: lockstep SIMD blocks on the
+  // work-stealing pool for the traversal benchmarks (runtime/hybrid.hpp),
+  // strip-mined root blocks for the task-block benchmarks
+  // (core/hybrid_taskblock.hpp).  `lanes` selects the traversal engine
+  // width: 0 = the program's natural width (4 without AVX2, 8 with), 4/8 =
+  // the explicit instantiations of the cores×lanes sweep.  Task-block
+  // benchmarks have a fixed lane width (their vectorized expand kernel) and
+  // report hybrid_fixed_width() = true; they ignore `lanes` and t_reexp.
   virtual bool has_hybrid() const { return false; }
+  virtual bool hybrid_fixed_width() const { return false; }
   virtual std::string run_hybrid(tb::rt::ForkJoinPool&, const tb::rt::HybridOptions&,
                                  tb::core::PerWorkerStats* = nullptr, int lanes = 0) {
     (void)lanes;
@@ -224,6 +228,12 @@ public:
   std::string run_blocked(const BlockedConfig& cfg, tb::core::ExecStats* st) override {
     return run_blocked_generic(prog_, roots_, cfg, st);
   }
+  bool has_hybrid() const override { return true; }
+  bool hybrid_fixed_width() const override { return true; }
+  std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
+                         tb::core::PerWorkerStats* pw, int) override {
+    return digest_of(tb::apps::nqueens_hybrid(pool, prog_, thresholds(), opt, pw));
+  }
 
 private:
   tb::apps::NQueensProgram prog_;
@@ -274,6 +284,12 @@ public:
     return run_blocked_generic(prog_, roots_, cfg, st);
   }
   std::size_t default_block() const override { return 1u << 11; }
+  bool has_hybrid() const override { return true; }
+  bool hybrid_fixed_width() const override { return true; }
+  std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
+                         tb::core::PerWorkerStats* pw, int) override {
+    return digest_of(tb::apps::uts_hybrid(pool, prog_, thresholds(), opt, pw));
+  }
 
 private:
   tb::apps::UtsProgram prog_;

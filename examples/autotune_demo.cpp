@@ -7,7 +7,9 @@
 // search table: wall time, SIMD utilization, and peak space per candidate,
 // with the chosen thresholds at the bottom.  Larger blocks raise
 // utilization but cost space (§3.5's trade); the winner sits where the
-// time curve bottoms out.
+// time curve bottoms out.  A final section sweeps the hybrid executor's
+// re-expansion threshold the same way (core::autotune_hybrid) on the
+// pointcorr traversal.
 //
 // Usage: ./autotune_demo
 #include <cstdio>
@@ -16,7 +18,11 @@
 #include "apps/fib.hpp"
 #include "apps/knapsack.hpp"
 #include "apps/nqueens.hpp"
+#include "apps/pointcorr.hpp"
 #include "core/autotune.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "spatial/bodies.hpp"
+#include "spatial/kdtree.hpp"
 
 namespace {
 
@@ -54,6 +60,26 @@ int main() {
     const std::vector roots{tb::apps::NQueensProgram::root()};
     tune_and_print<tb::core::SoaExec<tb::apps::NQueensProgram>>("nqueens(11)", prog, roots,
                                                                 8);
+  }
+  {
+    // The hybrid analogue: sweep t_reexp over the real executor.
+    const auto pts = tb::spatial::Bodies::uniform_cube(8000);
+    const auto tree = tb::spatial::KdTree::build(pts, 16);
+    const tb::apps::PointCorrProgram prog{&pts, &tree, 0.02f};
+    tb::rt::ForkJoinPool pool(4);
+    tb::core::HybridTuneOptions opts;
+    opts.q = tb::apps::PointCorrProgram::simd_width;
+    opts.max_reexp = 256;
+    const auto rep = tb::core::autotune_hybrid(
+        [&](const tb::rt::HybridOptions& o, tb::core::PerWorkerStats* pw) {
+          (void)tb::lockstep::hybrid_pointcorr(pool, prog, o, pw);
+        },
+        opts);
+    std::printf("=== hybrid pointcorr (8000 pts, 4 workers) ===\n%s",
+                rep.to_string().c_str());
+    std::printf("chosen: t_reexp=%zu grain=%d  (%.2f ms, %.1f%% SIMD utilization)\n",
+                rep.best.t_reexp, rep.best.grain, rep.best_seconds * 1e3,
+                rep.best_utilization * 100.0);
   }
   return 0;
 }

@@ -2,10 +2,12 @@
 // re-expansion traversal engine for point correlation and minmaxdist on the
 // work-stealing pool, and read the per-worker SIMD-utilization stats.
 //
-//   ./hybrid_traversal [points] [workers] [t_reexp]
+//   ./hybrid_traversal [points] [workers] [t_reexp] [donation]
 //
 // Prints the sequential oracle, the hybrid result (they must match), and
-// one utilization row per worker.
+// one utilization row per worker.  With donation (the default), workers
+// whose range ran dry receive bottom frames split off a loaded peer's
+// stack; the donated-frame count is reported per run.
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,15 +22,17 @@ int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const std::size_t t_reexp = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 32;
+  const bool donation = argc > 4 ? std::atoi(argv[4]) != 0 : true;
 
   const auto pts = tb::spatial::Bodies::uniform_cube(n);
   const auto tree = tb::spatial::KdTree::build(pts, 16);
   tb::rt::ForkJoinPool pool(workers);
   tb::rt::HybridOptions opt;
   opt.t_reexp = t_reexp;
+  opt.donation = donation;
 
-  std::printf("hybrid traversal: %zu points, %d workers, t_reexp=%zu\n\n", n, workers,
-              t_reexp);
+  std::printf("hybrid traversal: %zu points, %d workers, t_reexp=%zu, donation=%s\n\n", n,
+              workers, t_reexp, donation ? "on" : "off");
 
   {
     const tb::apps::PointCorrProgram prog{&pts, &tree, 0.02f};
@@ -43,9 +47,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(pw.workers[s].steps_total),
                   pw.utilization(s) * 100.0);
     }
-    std::printf("  merged: %5.1f%% (min %5.1f%%, max %5.1f%% across workers)\n\n",
+    std::printf("  merged: %5.1f%% (min %5.1f%%, max %5.1f%% across workers), "
+                "%llu frame(s) donated\n\n",
                 pw.merged().simd_utilization() * 100.0, pw.min_utilization() * 100.0,
-                pw.max_utilization() * 100.0);
+                pw.max_utilization() * 100.0,
+                static_cast<unsigned long long>(pw.merged().donated_frames));
     if (seq != hyb) return 1;
   }
 

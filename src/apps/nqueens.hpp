@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "apps/common.hpp"
+#include "core/hybrid_taskblock.hpp"
 #include "core/program.hpp"
 #include "runtime/forkjoin.hpp"
 #include "simd/batch.hpp"
@@ -135,6 +136,21 @@ inline std::uint64_t nqueens_cilk_rec(rt::ForkJoinPool& pool, int n, std::uint32
 
 inline std::uint64_t nqueens_cilk(rt::ForkJoinPool& pool, int n) {
   return pool.run([&pool, n] { return nqueens_cilk_rec(pool, n, 0, 0, 0); });
+}
+
+// Hybrid cores×lanes path (core/hybrid_taskblock.hpp): the single root is
+// amplified by breadth-first frontier expansion (row by row — level d holds
+// the partial placements of d queens) until there are enough independent
+// tasks to strip-mine over the pool; each range runs the SIMD task-block
+// scheduler.  Placement counts are a commutative sum, so the result is
+// bit-identical to the sequential recursion for any split.
+inline std::uint64_t nqueens_hybrid(rt::ForkJoinPool& pool, const NQueensProgram& prog,
+                                    const core::Thresholds& th,
+                                    const rt::HybridOptions& opt = {},
+                                    core::PerWorkerStats* stats = nullptr) {
+  const NQueensProgram::Task root[] = {NQueensProgram::root()};
+  return core::hybrid_taskblock_amplified<core::SimdExec<NQueensProgram>>(
+      pool, prog, root, core::SeqPolicy::Restart, th, opt, stats);
 }
 
 }  // namespace tb::apps

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/common.hpp"
+#include "core/hybrid_taskblock.hpp"
 #include "core/program.hpp"
 #include "runtime/forkjoin.hpp"
 #include "runtime/xoshiro.hpp"
@@ -147,6 +148,20 @@ inline std::uint64_t uts_cilk_rec(rt::ForkJoinPool& pool, const UtsProgram& prog
         return uts_cilk_rec(pool, prog, kids[static_cast<std::size_t>(i)]);
       },
       0ull, [](std::uint64_t& a, std::uint64_t b) { a += b; });
+}
+
+// Hybrid cores×lanes path (core/hybrid_taskblock.hpp): the b0 root
+// children — amplified a level deeper if the pool wants more slices — are
+// strip-mined into ranges on the pool, each range running the SIMD
+// task-block scheduler.  Leaf counts are a commutative sum, so the result
+// is bit-identical to the sequential recursion for any split.
+inline std::uint64_t uts_hybrid(rt::ForkJoinPool& pool, const UtsProgram& prog,
+                                const core::Thresholds& th,
+                                const rt::HybridOptions& opt = {},
+                                core::PerWorkerStats* stats = nullptr) {
+  const auto roots = prog.roots();
+  return core::hybrid_taskblock_amplified<core::SimdExec<UtsProgram>>(
+      pool, prog, roots, core::SeqPolicy::Restart, th, opt, stats);
 }
 
 inline std::uint64_t uts_cilk(rt::ForkJoinPool& pool, const UtsProgram& prog) {

@@ -8,6 +8,12 @@
 // thresholds plus the full sample table — so "best block size" becomes an
 // output of the library instead of an input.
 //
+// autotune_hybrid extends the same idea to the hybrid vector×multicore
+// executor: it sweeps the re-expansion threshold t_reexp (and optionally the
+// range grain) over the *actual* hybrid run and returns the winning
+// rt::HybridOptions — by wall time, or by merged SIMD utilization, which
+// with a static partition is deterministic and therefore reproducible.
+//
 // The search measures whole runs over the supplied roots; callers control
 // tuning cost by choosing a representative (smaller) root set, exactly like
 // any profile-guided setup run.
@@ -25,6 +31,7 @@
 #include "core/seq_scheduler.hpp"
 #include "core/stats.hpp"
 #include "core/thresholds.hpp"
+#include "runtime/hybrid.hpp"
 
 namespace tb::core {
 
@@ -146,6 +153,107 @@ TuneReport autotune_block_size(const typename Exec::Program& p,
       static_cast<std::size_t>(opts.restart_fraction * static_cast<double>(best_block)), 1);
   rep.best = rep.best.clamped();
   rep.best_seconds = best_time;
+  return rep;
+}
+
+// ---- hybrid-executor tuning ---------------------------------------------------------
+
+struct HybridTuneSample {
+  std::size_t t_reexp = 0;
+  std::int32_t grain = 0;  // 0 = the executor's auto grain
+  double seconds = 0;
+  double utilization = 0;
+};
+
+// What the winner is selected by.  Time is what production callers want;
+// Utilization (maximize merged SIMD utilization) is deterministic when the
+// candidates use a static partition, which is what the reproducibility
+// tests pin.
+enum class HybridTuneObjective { Time, Utilization };
+
+struct HybridTuneOptions {
+  int q = 8;                  // engine lane width; anchors the t_reexp grid
+  int reps = 2;               // best-of-N timing per candidate
+  // t_reexp candidates: 0 (pure blocked), then q·2^k up to max_reexp
+  // inclusive — the degenerate classic-lockstep end of the spectrum is
+  // reached by passing a max_reexp above the query count.
+  std::size_t max_reexp = std::size_t{1} << 9;
+  // Grain candidates for the dynamic splitter; 0 = auto.  Swept crosswise
+  // against every t_reexp candidate.
+  std::vector<std::int32_t> grains = {0};
+  bool static_partition = false;
+  bool donation = false;
+  HybridTuneObjective objective = HybridTuneObjective::Time;
+};
+
+struct HybridTuneReport {
+  rt::HybridOptions best;
+  double best_seconds = 0;
+  double best_utilization = 0;
+  std::vector<HybridTuneSample> samples;  // in evaluation order
+
+  std::string to_string() const {
+    std::string out = " t_reexp    grain   seconds   util%\n";
+    char line[128];
+    for (const HybridTuneSample& s : samples) {
+      std::snprintf(line, sizeof line, "%8zu %8d %9.5f %7.1f%s\n", s.t_reexp, s.grain,
+                    s.seconds, s.utilization * 100.0,
+                    s.t_reexp == best.t_reexp && s.grain == best.grain ? "  <-- best" : "");
+      out += line;
+    }
+    return out;
+  }
+};
+
+// Tunes rt::HybridOptions for one hybrid workload.  `run` executes one full
+// hybrid run under the candidate options: run(const rt::HybridOptions&,
+// PerWorkerStats*).  Candidates are evaluated in a fixed order and ties keep
+// the earlier candidate, so under the Utilization objective with a static
+// partition the winner is a pure function of the workload.
+template <class RunFn>
+HybridTuneReport autotune_hybrid(RunFn&& run, HybridTuneOptions opts = {}) {
+  HybridTuneReport rep;
+  std::vector<std::size_t> thresholds{0};
+  for (std::size_t t = static_cast<std::size_t>(std::max(opts.q, 1)); t <= opts.max_reexp;
+       t *= 2) {
+    thresholds.push_back(t);
+  }
+  if (opts.grains.empty()) opts.grains.push_back(0);
+
+  bool have_best = false;
+  for (const std::size_t t : thresholds) {
+    for (const std::int32_t g : opts.grains) {
+      rt::HybridOptions cand;
+      cand.t_reexp = t;
+      cand.grain = g;
+      cand.static_partition = opts.static_partition;
+      cand.donation = opts.donation;
+      HybridTuneSample s;
+      s.t_reexp = t;
+      s.grain = g;
+      s.seconds = 1e100;
+      for (int r = 0; r < std::max(opts.reps, 1); ++r) {
+        PerWorkerStats pw;
+        const auto t0 = std::chrono::steady_clock::now();
+        run(cand, &pw);
+        const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+        if (dt.count() < s.seconds) {
+          s.seconds = dt.count();
+          s.utilization = pw.merged().simd_utilization();
+        }
+      }
+      rep.samples.push_back(s);
+      const bool better = opts.objective == HybridTuneObjective::Time
+                              ? s.seconds < rep.best_seconds
+                              : s.utilization > rep.best_utilization;
+      if (!have_best || better) {
+        have_best = true;
+        rep.best = cand;
+        rep.best_seconds = s.seconds;
+        rep.best_utilization = s.utilization;
+      }
+    }
+  }
   return rep;
 }
 

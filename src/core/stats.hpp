@@ -33,6 +33,7 @@ struct ExecStats {
   std::uint64_t max_block_size = 0;
   std::uint64_t peak_space_tasks = 0;  // max total tasks resident in blocks
   std::uint64_t peak_frames = 0;       // max live join frames (JoinScheduler only)
+  std::uint64_t donated_frames = 0;    // frames split off to a peer (hybrid donation)
 
   // Record the SIMD-step accounting for executing a block of `t` tasks on a
   // Q-lane unit, classified against the partial-superstep threshold.
@@ -82,6 +83,7 @@ struct ExecStats {
     max_block_size = std::max(max_block_size, o.max_block_size);
     peak_space_tasks = std::max(peak_space_tasks, o.peak_space_tasks);
     peak_frames = std::max(peak_frames, o.peak_frames);
+    donated_frames += o.donated_frames;
     return *this;
   }
 };

@@ -22,6 +22,17 @@
 // and sibling frames share their parent's survivor block by refcount, so
 // the steady state is allocation-free.
 //
+// Frame-level work donation: when a Donor is installed (set_donor), the
+// main loop polls it once per frame and, when the donor reports hungry
+// peers, splits the bottom-most donatable frame — the tail half of a live
+// block's query ids leaves through Donor::take as a (node, payload, ids)
+// triple the recipient re-expands into a fresh root block on its own engine
+// via run_frame.  Bottom frames sit closest to the root, so one donation
+// moves the largest available subtree share; the per-query partition keeps
+// results identical because every traversal app's state is per-query (or a
+// commutative sum).  Without a donor installed the engine behaves exactly
+// as before.
+//
 // Statistics land in core::ExecStats with the paper's step accounting: a
 // blocked frame of t live queries is a superstep of ceil(t/W) steps
 // (floor(t/W) complete); a masked node visit is one step, complete only
@@ -44,13 +55,29 @@ template <int W, class Payload = char>
 class BlockedTraversal {
 public:
   using BI = simd::batch<std::int32_t, W>;
+  using payload_type = Payload;
   static constexpr std::uint32_t kFullMask = simd::mask_all<W>;
   static constexpr int kMaxChildren = 8;
+
+  // Receives donated frames (runtime/hybrid.hpp implements this on top of
+  // the pool).  want() must be cheap — it is polled once per frame; take()
+  // must copy the ids out before returning (the engine reuses the block).
+  struct Donor {
+    virtual ~Donor() = default;
+    virtual bool want() = 0;
+    virtual void take(std::int32_t node, const Payload& payload, const std::int32_t* ids,
+                      std::size_t n) = 0;
+  };
 
   explicit BlockedTraversal(std::size_t t_reexp = 0) : t_reexp_(t_reexp) {}
 
   void set_reexp_threshold(std::size_t t) { t_reexp_ = t; }
   std::size_t reexp_threshold() const { return t_reexp_; }
+
+  // Installing a donor enables frame-level donation for subsequent runs;
+  // nullptr disables it (the default).
+  void set_donor(Donor* d) { donor_ = d; }
+  Donor* donor() const { return donor_; }
 
   // Walks the shared tree from `root` with the dense query block
   // [first_query, first_query + num_queries).
@@ -73,9 +100,6 @@ public:
            std::int32_t num_queries, ChildrenFn&& children, StepFn&& step,
            DescendFn&& descend, core::ExecStats* stats = nullptr) {
     if (num_queries <= 0) return;
-    core::ExecStats local;
-    core::ExecStats& st = stats ? *stats : local;
-
     IdBlock* rootb = alloc(static_cast<std::size_t>(num_queries));
     for (std::int32_t i = 0; i < num_queries; ++i) {
       rootb->ids[static_cast<std::size_t>(i)] = first_query + i;
@@ -83,9 +107,53 @@ public:
     rootb->n = static_cast<std::size_t>(num_queries);
     rootb->refs = 1;
     frames_.push_back(Frame{root, root_payload, rootb});
+    main_loop(children, step, descend, stats);
+  }
 
+  // Walks the shared tree from an arbitrary (node, payload, explicit id
+  // list) triple — the receiving side of frame-level donation: the donated
+  // ids become a fresh dense root block on THIS engine (its block pool) and
+  // the subtree is traversed with the usual compaction + re-expansion.
+  template <class ChildrenFn, class StepFn, class DescendFn>
+  void run_frame(std::int32_t node, Payload payload, const std::int32_t* qids,
+                 std::size_t num_queries, ChildrenFn&& children, StepFn&& step,
+                 DescendFn&& descend, core::ExecStats* stats = nullptr) {
+    if (num_queries == 0) return;
+    IdBlock* rootb = alloc(num_queries);
+    std::copy_n(qids, num_queries, rootb->ids.data());
+    rootb->n = num_queries;
+    rootb->refs = 1;
+    frames_.push_back(Frame{node, payload, rootb});
+    main_loop(children, step, descend, stats);
+  }
+
+private:
+  struct IdBlock {
+    std::vector<std::int32_t> ids;  // capacity carries W slack for compact stores
+    std::size_t n = 0;
+    int refs = 0;
+  };
+
+  struct Frame {
+    std::int32_t node;
+    Payload payload;
+    IdBlock* blk;
+  };
+
+  struct MaskedFrame {
+    std::int32_t node;
+    std::uint32_t mask;
+    Payload payload;
+  };
+
+  template <class ChildrenFn, class StepFn, class DescendFn>
+  void main_loop(ChildrenFn&& children, StepFn&& step, DescendFn&& descend,
+                 core::ExecStats* stats) {
+    core::ExecStats local;
+    core::ExecStats& st = stats ? *stats : local;
     std::int32_t kids[kMaxChildren];
     while (!frames_.empty()) {
+      if (donor_ != nullptr && donor_->want()) try_donate(st);
       Frame f = frames_.back();
       frames_.pop_back();
       if (f.blk->n == 0) {
@@ -141,24 +209,33 @@ public:
     }
   }
 
-private:
-  struct IdBlock {
-    std::vector<std::int32_t> ids;  // capacity carries W slack for compact stores
-    std::size_t n = 0;
-    int refs = 0;
-  };
-
-  struct Frame {
-    std::int32_t node;
-    Payload payload;
-    IdBlock* blk;
-  };
-
-  struct MaskedFrame {
-    std::int32_t node;
-    std::uint32_t mask;
-    Payload payload;
-  };
+  // Splits the bottom-most donatable frame and hands the tail half of its
+  // query ids to the donor.  Both halves stay at or above max(t_reexp, W),
+  // so a donation never flips the remaining half below the blocked regime it
+  // was already in; frames below that floor (including everything in the
+  // degenerate classic-lockstep configuration) are never donated.
+  void try_donate(core::ExecStats& st) {
+    const std::size_t min_n =
+        2 * std::max<std::size_t>(t_reexp_, static_cast<std::size_t>(W));
+    for (Frame& f : frames_) {  // frames_[0] is the bottom: nearest the root
+      if (f.blk->n < min_n) continue;
+      const std::size_t keep = f.blk->n / 2;
+      donor_->take(f.node, f.payload, f.blk->ids.data() + keep, f.blk->n - keep);
+      if (f.blk->refs == 1) {
+        f.blk->n = keep;
+      } else {
+        // The block is shared with sibling frames, which each still own the
+        // full survivor set — give this frame a private kept-half copy.
+        IdBlock* nb = alloc(keep);
+        std::copy_n(f.blk->ids.data(), keep, nb->ids.data());
+        nb->n = keep;
+        release(f.blk);
+        f.blk = nb;
+      }
+      st.donated_frames += 1;
+      return;
+    }
+  }
 
   // Classic masked-lockstep DFS over one small block: fixed W-groups of the
   // block's (dense) survivors, lane masks carried, no compaction — the
@@ -220,6 +297,7 @@ private:
   }
 
   std::size_t t_reexp_;
+  Donor* donor_ = nullptr;
   std::vector<Frame> frames_;
   std::vector<MaskedFrame> mstack_;
   std::vector<std::unique_ptr<IdBlock>> arena_;

@@ -238,6 +238,23 @@ std::uint64_t blocked_barneshut(const apps::BarnesHutProgram& prog, float theta,
       prog, theta, 0, static_cast<std::int32_t>(prog.bodies->size()), engine, stats);
 }
 
+// Resumes a donated frame — the payload carries the opening threshold d² of
+// the frame's level (frame-level work donation, runtime/hybrid.hpp).
+template <int W = apps::BarnesHutProgram::simd_width>
+std::uint64_t blocked_barneshut_frame(const apps::BarnesHutProgram& prog, std::int32_t node,
+                                      float d2, const std::int32_t* ids, std::size_t count,
+                                      BlockedTraversal<W, float>& engine,
+                                      core::ExecStats* stats = nullptr) {
+  BarnesHutBlockedKernel<W> k{prog};
+  engine.run_frame(
+      node, d2, ids, count,
+      [&](std::int32_t nd, std::int32_t* out) { return k.children(nd, out); },
+      [&](std::int32_t nd, const typename BarnesHutBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, float pd2) { return k.step(nd, qid, mask, pd2); },
+      [](float pd2) { return pd2 * 0.25f; }, stats);
+  return k.interactions;
+}
+
 template <int W = apps::BarnesHutProgram::simd_width>
 std::uint64_t hybrid_barneshut(rt::ForkJoinPool& pool, const apps::BarnesHutProgram& prog,
                                float theta, const rt::HybridOptions& opt = {},
@@ -249,6 +266,11 @@ std::uint64_t hybrid_barneshut(rt::ForkJoinPool& pool, const apps::BarnesHutProg
       [&](std::int32_t b, std::int32_t e, std::size_t slot,
           BlockedTraversal<W, float>& engine, core::ExecStats& st) {
         parts[slot].value += blocked_barneshut_range<W>(prog, theta, b, e - b, engine, &st);
+      },
+      [&](std::int32_t node, float d2, const std::int32_t* ids, std::size_t count,
+          std::size_t slot, BlockedTraversal<W, float>& engine, core::ExecStats& st) {
+        parts[slot].value +=
+            blocked_barneshut_frame<W>(prog, node, d2, ids, count, engine, &st);
       });
   std::uint64_t total = 0;
   for (const auto& p : parts) total += p.value;

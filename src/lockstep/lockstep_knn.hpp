@@ -172,13 +172,31 @@ void blocked_knn(const apps::KnnProgram& prog, std::size_t t_reexp = 0,
                        stats);
 }
 
+// Resumes a donated frame (frame-level work donation, runtime/hybrid.hpp).
+template <int W = apps::KnnProgram::simd_width>
+void blocked_knn_frame(const apps::KnnProgram& prog, std::int32_t node,
+                       const std::int32_t* ids, std::size_t count,
+                       BlockedTraversal<W>& engine, core::ExecStats* stats = nullptr) {
+  KnnBlockedKernel<W> k{prog};
+  engine.run_frame(
+      node, char{0}, ids, count,
+      [&](std::int32_t nd, std::int32_t* out) { return k.children(nd, out); },
+      [&](std::int32_t nd, const typename KnnBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, char) { return k.step(nd, qid, mask); },
+      [](char p) { return p; }, stats);
+}
+
 template <int W = apps::KnnProgram::simd_width>
 void hybrid_knn(rt::ForkJoinPool& pool, const apps::KnnProgram& prog,
                 const rt::HybridOptions& opt = {}, core::PerWorkerStats* stats = nullptr) {
   rt::hybrid_run<BlockedTraversal<W>>(
       pool, static_cast<std::int32_t>(prog.points->size()), opt, stats,
       [&](std::int32_t b, std::int32_t e, std::size_t, BlockedTraversal<W>& engine,
-          core::ExecStats& st) { blocked_knn_range<W>(prog, b, e - b, engine, &st); });
+          core::ExecStats& st) { blocked_knn_range<W>(prog, b, e - b, engine, &st); },
+      [&](std::int32_t node, char, const std::int32_t* ids, std::size_t count, std::size_t,
+          BlockedTraversal<W>& engine, core::ExecStats& st) {
+        blocked_knn_frame<W>(prog, node, ids, count, engine, &st);
+      });
 }
 
 }  // namespace tb::lockstep

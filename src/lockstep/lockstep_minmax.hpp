@@ -181,6 +181,21 @@ void blocked_minmaxdist(const apps::MinmaxDistProgram& prog, std::size_t t_reexp
                               engine, stats);
 }
 
+// Resumes a donated frame (frame-level work donation, runtime/hybrid.hpp).
+template <int W = apps::MinmaxDistProgram::simd_width>
+void blocked_minmaxdist_frame(const apps::MinmaxDistProgram& prog, std::int32_t node,
+                              const std::int32_t* ids, std::size_t count,
+                              BlockedTraversal<W>& engine,
+                              core::ExecStats* stats = nullptr) {
+  MinmaxDistBlockedKernel<W> k{prog};
+  engine.run_frame(
+      node, char{0}, ids, count,
+      [&](std::int32_t nd, std::int32_t* out) { return k.children(nd, out); },
+      [&](std::int32_t nd, const typename MinmaxDistBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, char) { return k.step(nd, qid, mask); },
+      [](char p) { return p; }, stats);
+}
+
 template <int W = apps::MinmaxDistProgram::simd_width>
 void hybrid_minmaxdist(rt::ForkJoinPool& pool, const apps::MinmaxDistProgram& prog,
                        const rt::HybridOptions& opt = {},
@@ -190,6 +205,10 @@ void hybrid_minmaxdist(rt::ForkJoinPool& pool, const apps::MinmaxDistProgram& pr
       [&](std::int32_t b, std::int32_t e, std::size_t, BlockedTraversal<W>& engine,
           core::ExecStats& st) {
         blocked_minmaxdist_range<W>(prog, b, e - b, engine, &st);
+      },
+      [&](std::int32_t node, char, const std::int32_t* ids, std::size_t count, std::size_t,
+          BlockedTraversal<W>& engine, core::ExecStats& st) {
+        blocked_minmaxdist_frame<W>(prog, node, ids, count, engine, &st);
       });
 }
 

@@ -171,6 +171,24 @@ std::uint64_t blocked_pointcorr(const apps::PointCorrProgram& prog,
                                     engine, stats);
 }
 
+// Resumes a donated frame — the same kernel from an arbitrary (node, ids)
+// start instead of the tree root (the receiving side of frame-level work
+// donation, runtime/hybrid.hpp).
+template <int W = apps::PointCorrProgram::simd_width>
+std::uint64_t blocked_pointcorr_frame(const apps::PointCorrProgram& prog, std::int32_t node,
+                                      const std::int32_t* ids, std::size_t count,
+                                      BlockedTraversal<W>& engine,
+                                      core::ExecStats* stats = nullptr) {
+  PointCorrBlockedKernel<W> k{prog};
+  engine.run_frame(
+      node, char{0}, ids, count,
+      [&](std::int32_t nd, std::int32_t* out) { return k.children(nd, out); },
+      [&](std::int32_t nd, const typename PointCorrBlockedKernel<W>::BI& qid,
+          std::uint32_t mask, char) { return k.step(nd, qid, mask); },
+      [](char p) { return p; }, stats);
+  return k.count;
+}
+
 // Hybrid vector×multicore: blocked traversal per worker over pool-distributed
 // query ranges (runtime/hybrid.hpp).
 template <int W = apps::PointCorrProgram::simd_width>
@@ -184,6 +202,10 @@ std::uint64_t hybrid_pointcorr(rt::ForkJoinPool& pool, const apps::PointCorrProg
       [&](std::int32_t b, std::int32_t e, std::size_t slot, BlockedTraversal<W>& engine,
           core::ExecStats& st) {
         parts[slot].value += blocked_pointcorr_range<W>(prog, b, e - b, engine, &st);
+      },
+      [&](std::int32_t node, char, const std::int32_t* ids, std::size_t count,
+          std::size_t slot, BlockedTraversal<W>& engine, core::ExecStats& st) {
+        parts[slot].value += blocked_pointcorr_frame<W>(prog, node, ids, count, engine, &st);
       });
   std::uint64_t total = 0;
   for (const auto& p : parts) total += p.value;

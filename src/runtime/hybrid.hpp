@@ -29,11 +29,24 @@
 //     is what lets the fig4 nightly gate diff hybrid SIMD-utilization
 //     records exactly.
 //
+// Frame-level work donation (HybridOptions::donation, dynamic mode only):
+// pre-split ranges stop balancing once every range has been handed out — a
+// single huge subtree then pins its whole remaining traversal to one
+// worker.  With donation enabled, each engine polls the same empty-deque
+// signal the lazy splitter uses and, when thieves would find nothing to
+// steal, splits the bottom frame of its explicit frame stack: half of that
+// frame's live query ids leave as a detached pool job that re-expands into
+// a fresh root block on whichever worker picks it up (Engine::run_frame).
+// Donated work is attributed to the executing worker's slot, so dynamic
+// per-slot stats remain schedule-dependent (they already were); the static
+// partition never donates and stays bit-deterministic.
+//
 // Per-slot ExecStats surface through core::PerWorkerStats (core/stats.hpp).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/stats.hpp"
@@ -50,6 +63,9 @@ struct HybridOptions {
   std::int32_t grain = 0;
   // Deterministic one-chunk-per-slot partition (see header comment).
   bool static_partition = false;
+  // Frame-level work donation between workers (dynamic mode only; a static
+  // partition never donates so its per-slot stats stay deterministic).
+  bool donation = false;
 };
 
 // Number of per-slot contexts (engines, stats, partial results) a hybrid
@@ -81,6 +97,34 @@ void hybrid_range(ForkJoinPool& pool, std::int32_t b, std::int32_t e, int home,
   fn(b, e, wid);
 }
 
+// Spawns the range jobs of one hybrid run.  Must execute inside the pool
+// (a root task); the caller waits on `wg` afterwards.
+template <class Fn>
+void hybrid_distribute(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt,
+                       WaitGroup& wg, Fn& fn) {
+  const int slots = hybrid_slots(pool);
+  if (opt.static_partition) {
+    for (int c = 0; c < slots; ++c) {
+      const std::int32_t b = static_cast<std::int32_t>(
+          (static_cast<std::int64_t>(n) * c) / slots);
+      const std::int32_t e = static_cast<std::int32_t>(
+          (static_cast<std::int64_t>(n) * (c + 1)) / slots);
+      if (b >= e) continue;
+      pool.spawn_detached([&fn, b, e, c] { fn(b, e, c); }, wg);
+    }
+    return;
+  }
+  if (slots == 1) {
+    // Degenerate pool: one dense root block, no splitting overhead.
+    fn(0, n, ForkJoinPool::worker_id());
+    return;
+  }
+  const std::int32_t grain =
+      opt.grain > 0 ? opt.grain
+                    : std::max<std::int32_t>(1, n / (slots * 8));
+  hybrid_range(pool, 0, n, /*home=*/-1, grain, wg, fn);
+}
+
 }  // namespace detail
 
 // Runs fn(begin, end, slot) over disjoint subranges of [0, n) on the pool's
@@ -91,33 +135,9 @@ void hybrid_range(ForkJoinPool& pool, std::int32_t b, std::int32_t e, int home,
 template <class Fn>
 void hybrid_for(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt, Fn&& fn) {
   if (n <= 0) return;
-  const int slots = hybrid_slots(pool);
-  if (opt.static_partition) {
-    pool.run([&] {
-      WaitGroup wg;
-      for (int c = 0; c < slots; ++c) {
-        const std::int32_t b = static_cast<std::int32_t>(
-            (static_cast<std::int64_t>(n) * c) / slots);
-        const std::int32_t e = static_cast<std::int32_t>(
-            (static_cast<std::int64_t>(n) * (c + 1)) / slots);
-        if (b >= e) continue;
-        pool.spawn_detached([&fn, b, e, c] { fn(b, e, c); }, wg);
-      }
-      pool.wait(wg);
-    });
-    return;
-  }
-  if (slots == 1) {
-    // Degenerate pool: one dense root block, no splitting overhead.
-    pool.run([&fn, n] { fn(0, n, ForkJoinPool::worker_id()); });
-    return;
-  }
-  const std::int32_t grain =
-      opt.grain > 0 ? opt.grain
-                    : std::max<std::int32_t>(1, n / (slots * 8));
   pool.run([&] {
     WaitGroup wg;
-    detail::hybrid_range(pool, 0, n, /*home=*/-1, grain, wg, fn);
+    detail::hybrid_distribute(pool, n, opt, wg, fn);
     pool.wait(wg);
   });
 }
@@ -141,6 +161,75 @@ void hybrid_run(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt,
   hybrid_for(pool, n, opt, [&](std::int32_t b, std::int32_t e, int slot) {
     const auto s = static_cast<std::size_t>(slot);
     range_fn(b, e, s, engines[s], pw.workers[s]);
+  });
+}
+
+// Donation-capable variant: `frame_fn(node, payload, ids, count, slot,
+// engine, stats)` runs the kernel's blocked traversal from a donated frame
+// (Engine::run_frame) — it is invoked on whichever worker picks the donated
+// job up, always with that worker's own engine and stats slot.  Donation
+// engages only in dynamic mode on a multi-worker pool with opt.donation
+// set; otherwise this is exactly the range-only overload.
+template <class Engine, class RangeFn, class FrameFn>
+void hybrid_run(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt,
+                core::PerWorkerStats* stats, RangeFn&& range_fn, FrameFn&& frame_fn) {
+  if (!opt.donation || opt.static_partition || hybrid_slots(pool) <= 1) {
+    // A 1-worker pool has nobody to donate to — splitting frames would only
+    // add copy and spawn overhead the same worker pays for later.
+    hybrid_run<Engine>(pool, n, opt, stats, std::forward<RangeFn>(range_fn));
+    return;
+  }
+  const int slots = hybrid_slots(pool);
+  core::PerWorkerStats local;
+  core::PerWorkerStats& pw = stats ? *stats : local;
+  pw.reset(static_cast<std::size_t>(slots));
+  std::vector<Engine> engines;
+  engines.reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) engines.emplace_back(opt.t_reexp);
+  auto body = [&](std::int32_t b, std::int32_t e, int slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    range_fn(b, e, s, engines[s], pw.workers[s]);
+  };
+
+  // The engine-facing donor: a donated frame becomes a detached pool job so
+  // hungry thieves steal it like any other work.  want() reuses the lazy
+  // splitter's signal — an empty local deque means a thief scanning this
+  // worker would leave empty-handed.
+  using Payload = typename Engine::payload_type;
+  using FrameRunner = std::remove_reference_t<FrameFn>;
+  struct Sink final : Engine::Donor {
+    ForkJoinPool* pool = nullptr;
+    WaitGroup* wg = nullptr;
+    std::vector<Engine>* engines = nullptr;
+    core::PerWorkerStats* pw = nullptr;
+    FrameRunner* frame_fn = nullptr;
+    bool want() override { return pool->local_queue_empty(); }
+    void take(std::int32_t node, const Payload& payload, const std::int32_t* ids,
+              std::size_t count) override {
+      std::vector<std::int32_t> copy(ids, ids + count);
+      pool->spawn_detached(
+          [this, node, payload, copy = std::move(copy)] {
+            const auto wid = static_cast<std::size_t>(ForkJoinPool::worker_id());
+            (*frame_fn)(node, payload, copy.data(), copy.size(), wid,
+                        (*engines)[wid], pw->workers[wid]);
+          },
+          *wg);
+    }
+  };
+
+  if (n <= 0) return;
+  pool.run([&] {
+    WaitGroup wg;
+    Sink sink;
+    sink.pool = &pool;
+    sink.wg = &wg;
+    sink.engines = &engines;
+    sink.pw = &pw;
+    sink.frame_fn = &frame_fn;
+    for (Engine& eng : engines) eng.set_donor(&sink);
+    detail::hybrid_distribute(pool, n, opt, wg, body);
+    pool.wait(wg);
+    for (Engine& eng : engines) eng.set_donor(nullptr);
   });
 }
 

@@ -1,17 +1,24 @@
 // Tests for the block-size auto-tuner (core/autotune.hpp): search-space
 // coverage, clamping, report consistency, policy coverage, and the
 // correctness guarantee that tuned thresholds change only performance,
-// never results.
+// never results.  The hybrid-executor tuner (autotune_hybrid) is pinned the
+// same way: grid coverage, candidate propagation, winner reproducibility
+// under the deterministic utilization objective, and result preservation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "apps/fib.hpp"
 #include "apps/knapsack.hpp"
+#include "apps/pointcorr.hpp"
 #include "core/autotune.hpp"
 #include "core/driver.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "spatial/bodies.hpp"
+#include "spatial/kdtree.hpp"
 
 namespace {
 
@@ -159,6 +166,107 @@ TEST(Autotune, ReportRendersSampleTable) {
   const TuneReport rep = core::autotune_block_size<FibExec>(prog, roots, small_search());
   const std::string text = rep.to_string();
   EXPECT_NE(text.find("t_dfe"), std::string::npos);
+  EXPECT_NE(text.find("<-- best"), std::string::npos);
+}
+
+// ---- hybrid-executor tuner ----------------------------------------------------------
+
+TEST(AutotuneHybrid, SweepsThresholdGridCrossGrains) {
+  // Synthetic run function: records every candidate and reports a synthetic
+  // utilization that peaks at (t_reexp=16, grain=4).
+  std::vector<std::pair<std::size_t, std::int32_t>> evaluated;
+  const auto run = [&](const tb::rt::HybridOptions& o, core::PerWorkerStats* pw) {
+    evaluated.emplace_back(o.t_reexp, o.grain);
+    EXPECT_TRUE(o.static_partition);  // opts below request it
+    pw->reset(1);
+    pw->workers[0].steps_total = 100;
+    pw->workers[0].steps_complete = (o.t_reexp == 16 && o.grain == 4) ? 90 : 10;
+  };
+  core::HybridTuneOptions opts;
+  opts.q = 8;
+  opts.reps = 1;
+  opts.max_reexp = 64;
+  opts.grains = {0, 4};
+  opts.static_partition = true;
+  opts.objective = core::HybridTuneObjective::Utilization;
+  const core::HybridTuneReport rep = core::autotune_hybrid(run, opts);
+  // Thresholds 0, 8, 16, 32, 64 × grains {0, 4}, in fixed order.
+  const std::vector<std::pair<std::size_t, std::int32_t>> want = {
+      {0, 0}, {0, 4}, {8, 0}, {8, 4}, {16, 0}, {16, 4}, {32, 0}, {32, 4}, {64, 0}, {64, 4}};
+  EXPECT_EQ(evaluated, want);
+  EXPECT_EQ(rep.samples.size(), want.size());
+  EXPECT_EQ(rep.best.t_reexp, 16u);
+  EXPECT_EQ(rep.best.grain, 4);
+  EXPECT_TRUE(rep.best.static_partition);
+  EXPECT_DOUBLE_EQ(rep.best_utilization, 0.9);
+}
+
+TEST(AutotuneHybrid, TimeObjectiveTracksSampleMinimum) {
+  const auto run = [&](const tb::rt::HybridOptions&, core::PerWorkerStats* pw) {
+    pw->reset(1);
+  };
+  core::HybridTuneOptions opts;
+  opts.q = 8;
+  opts.reps = 1;
+  opts.max_reexp = 32;
+  const core::HybridTuneReport rep = core::autotune_hybrid(run, opts);
+  ASSERT_FALSE(rep.samples.empty());
+  double min_seconds = 1e100;
+  for (const auto& s : rep.samples) min_seconds = std::min(min_seconds, s.seconds);
+  EXPECT_DOUBLE_EQ(rep.best_seconds, min_seconds);
+}
+
+// The acceptance claim: under the deterministic objective (utilization,
+// static partition) on the actual hybrid executor, the winner is a pure
+// function of the workload — two sweeps over a fixed root set agree on the
+// winning options AND every sample's utilization bit-exactly.
+TEST(AutotuneHybrid, UtilizationWinnerIsReproducibleOnRealExecutor) {
+  const auto pts = spatial::Bodies::uniform_cube(1200, 29);
+  const auto tree = spatial::KdTree::build(pts, 16);
+  const apps::PointCorrProgram prog{&pts, &tree, 0.03f};
+  rt::ForkJoinPool pool(3);
+  core::HybridTuneOptions opts;
+  opts.q = 8;
+  opts.reps = 1;
+  opts.max_reexp = 128;
+  opts.static_partition = true;
+  opts.objective = core::HybridTuneObjective::Utilization;
+  const auto sweep = [&] {
+    return core::autotune_hybrid(
+        [&](const tb::rt::HybridOptions& o, core::PerWorkerStats* pw) {
+          (void)lockstep::hybrid_pointcorr<8>(pool, prog, o, pw);
+        },
+        opts);
+  };
+  const core::HybridTuneReport a = sweep();
+  const core::HybridTuneReport b = sweep();
+  EXPECT_EQ(a.best.t_reexp, b.best.t_reexp);
+  EXPECT_EQ(a.best.grain, b.best.grain);
+  EXPECT_DOUBLE_EQ(a.best_utilization, b.best_utilization);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].utilization, b.samples[i].utilization) << "sample " << i;
+  }
+}
+
+TEST(AutotuneHybrid, TunedOptionsPreserveResults) {
+  const auto pts = spatial::Bodies::uniform_cube(1000, 31);
+  const auto tree = spatial::KdTree::build(pts, 16);
+  const apps::PointCorrProgram prog{&pts, &tree, 0.04f};
+  const std::uint64_t expected = apps::pointcorr_sequential(prog);
+  rt::ForkJoinPool pool(2);
+  core::HybridTuneOptions opts;
+  opts.q = 8;
+  opts.reps = 1;
+  opts.max_reexp = 64;
+  const core::HybridTuneReport rep = core::autotune_hybrid(
+      [&](const tb::rt::HybridOptions& o, core::PerWorkerStats* pw) {
+        (void)lockstep::hybrid_pointcorr<8>(pool, prog, o, pw);
+      },
+      opts);
+  EXPECT_EQ(lockstep::hybrid_pointcorr<8>(pool, prog, rep.best), expected);
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("t_reexp"), std::string::npos);
   EXPECT_NE(text.find("<-- best"), std::string::npos);
 }
 

@@ -43,10 +43,11 @@ Fixture& fix() {
   return f;
 }
 
-rt::HybridOptions opts(std::size_t t_reexp, std::int32_t grain) {
+rt::HybridOptions opts(std::size_t t_reexp, std::int32_t grain, bool donation = false) {
   rt::HybridOptions o;
   o.t_reexp = t_reexp;
   o.grain = grain;  // small grain: many spawned ranges, heavy stealing
+  o.donation = donation;
   return o;
 }
 
@@ -110,6 +111,44 @@ TEST(HybridStress, BarnesHutAtomicForceScatter) {
     std::vector<float> hx(n, 0), hy(n, 0), hz(n, 0);
     apps::BarnesHutProgram prog{&f.bodies, &f.octree, hx.data(), hy.data(), hz.data()};
     EXPECT_EQ(lockstep::hybrid_barneshut<8>(pool, prog, theta, opts(32, 64)), expected);
+  }
+}
+
+// Frame-level donation under oversubscribed stealing: a huge grain keeps
+// the range in a handful of pieces, so most workers are hungry and the
+// loaded engines donate bottom frames continuously — concurrent donated
+// subtrees hammer the same shared per-query state (knn spinlocks,
+// minmaxdist CAS loops, Barnes-Hut atomic adds) from both sides.
+TEST(HybridStress, DonationStormKeepsSharedStateCorrect) {
+  auto& f = fix();
+  rt::ForkJoinPool pool(kWorkers);
+  const auto big_grain = static_cast<std::int32_t>(kPoints / 2);
+  const apps::PointCorrProgram pc_prog{&f.pts, &f.kdtree, 0.02f};
+  const std::uint64_t pc_expected = apps::pointcorr_sequential(pc_prog);
+  apps::KnnState knn_oracle(f.pts.size(), 4);
+  {
+    apps::KnnProgram prog{&f.pts, &f.kdtree, &knn_oracle};
+    apps::knn_sequential(prog);
+  }
+  apps::MinmaxDistState mmd_oracle(f.pts.size());
+  {
+    apps::MinmaxDistProgram prog{&f.pts, &f.kdtree, &mmd_oracle};
+    apps::minmaxdist_sequential(prog);
+  }
+  const std::string mmd_expected = apps::minmaxdist_digest(mmd_oracle);
+  for (int r = 0; r < kRepeats; ++r) {
+    EXPECT_EQ(lockstep::hybrid_pointcorr<8>(pool, pc_prog, opts(16, big_grain, true)),
+              pc_expected);
+    apps::KnnState knn_state(f.pts.size(), 4);
+    apps::KnnProgram knn_prog{&f.pts, &f.kdtree, &knn_state};
+    lockstep::hybrid_knn<8>(pool, knn_prog, opts(16, big_grain, true));
+    for (const std::int32_t q : {0, 999, 2500, 3999}) {
+      EXPECT_EQ(knn_state.distances(q), knn_oracle.distances(q)) << "query " << q;
+    }
+    apps::MinmaxDistState mmd_state(f.pts.size());
+    apps::MinmaxDistProgram mmd_prog{&f.pts, &f.kdtree, &mmd_state};
+    lockstep::hybrid_minmaxdist<8>(pool, mmd_prog, opts(16, big_grain, true));
+    EXPECT_EQ(apps::minmaxdist_digest(mmd_state), mmd_expected);
   }
 }
 

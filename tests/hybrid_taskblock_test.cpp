@@ -1,0 +1,121 @@
+// Task-block hybrid path tests (core/hybrid_taskblock.hpp): breadth-first
+// frontier expansion semantics, and result-equivalence of the strip-mined
+// uts/nqueens hybrid runs against the sequential recursion oracle over the
+// full workers × threshold × partition × donation matrix
+// (tests/support/harness.hpp::hybrid_cases — t_reexp/donation are traversal
+// concepts the task-block path must ignore gracefully).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "apps/nqueens.hpp"
+#include "apps/uts.hpp"
+#include "core/hybrid_taskblock.hpp"
+#include "tests/support/harness.hpp"
+
+namespace {
+
+using namespace tb;
+
+// ---- frontier expansion -------------------------------------------------------------
+
+TEST(ExpandFrontier, AmplifiesSingleRootToRequestedSize) {
+  const apps::NQueensProgram prog{8};
+  const std::vector roots{apps::NQueensProgram::root()};
+  apps::NQueensProgram::Result partial = apps::NQueensProgram::identity();
+  const auto frontier = core::expand_frontier(prog, roots, 20, partial);
+  EXPECT_GE(frontier.size(), 20u);
+  EXPECT_EQ(partial, 0u);  // no leaves in the first rows of an 8-queens board
+  // Levels expand whole: every frontier task has the same number of queens.
+  const int placed = std::popcount(frontier.front().cols);
+  for (const auto& t : frontier) EXPECT_EQ(std::popcount(t.cols), placed);
+}
+
+TEST(ExpandFrontier, SmallEnoughRootSetIsReturnedUnchanged) {
+  const apps::UtsProgram prog(apps::UtsParams{16, 4, 0.2, 19});
+  const auto roots = prog.roots();
+  apps::UtsProgram::Result partial = apps::UtsProgram::identity();
+  const auto frontier = core::expand_frontier(
+      prog, std::span<const apps::UtsProgram::Task>(roots), roots.size(), partial);
+  EXPECT_EQ(frontier.size(), roots.size());
+  EXPECT_EQ(partial, 0u);
+}
+
+TEST(ExpandFrontier, ExhaustedTreeMovesEverythingToPartial) {
+  // q = 0 makes every root a leaf: asking for more tasks than exist drains
+  // the whole tree into `partial` and returns an empty frontier.
+  const apps::UtsProgram prog(apps::UtsParams{32, 4, 0.0, 19});
+  const auto roots = prog.roots();
+  apps::UtsProgram::Result partial = apps::UtsProgram::identity();
+  const auto frontier = core::expand_frontier(
+      prog, std::span<const apps::UtsProgram::Task>(roots), 1000, partial);
+  EXPECT_TRUE(frontier.empty());
+  EXPECT_EQ(partial, 32u);
+  EXPECT_EQ(partial, apps::uts_sequential_all(prog));
+}
+
+// ---- uts / nqueens hybrid equivalence -----------------------------------------------
+
+TEST(HybridTaskblock, UtsMatchesSequentialAcrossMatrix) {
+  const apps::UtsProgram prog(apps::UtsParams{64, 4, 0.22, 19});
+  const std::uint64_t expected = apps::uts_sequential_all(prog);
+  const auto th = core::Thresholds::for_block_size(prog.simd_width, 512, 64);
+  tbtest::for_each_hybrid_case([&](rt::ForkJoinPool& pool, const tbtest::HybridCase& c) {
+    EXPECT_EQ(apps::uts_hybrid(pool, prog, th, c.options()), expected);
+  });
+}
+
+TEST(HybridTaskblock, NQueensMatchesSequentialAcrossMatrix) {
+  const apps::NQueensProgram prog{9};
+  const std::uint64_t expected = apps::nqueens_sequential(9, 0, 0, 0);
+  const auto th = core::Thresholds::for_block_size(prog.simd_width, 256, 32);
+  tbtest::for_each_hybrid_case([&](rt::ForkJoinPool& pool, const tbtest::HybridCase& c) {
+    EXPECT_EQ(apps::nqueens_hybrid(pool, prog, th, c.options()), expected);
+  });
+}
+
+TEST(HybridTaskblock, ThresholdPresetsDoNotChangeResults) {
+  const apps::UtsProgram prog(apps::UtsParams{64, 4, 0.22, 19});
+  const std::uint64_t expected = apps::uts_sequential_all(prog);
+  rt::ForkJoinPool pool(4);
+  for (const auto& th : tbtest::threshold_presets()) {
+    SCOPED_TRACE(tbtest::threshold_name(th));
+    EXPECT_EQ(apps::uts_hybrid(pool, prog, th, {}), expected);
+  }
+}
+
+// ---- per-slot stats -----------------------------------------------------------------
+
+TEST(HybridTaskblock, PerWorkerStatsCoverSlots) {
+  const apps::NQueensProgram prog{9};
+  const auto th = core::Thresholds::for_block_size(prog.simd_width, 256, 32);
+  rt::ForkJoinPool pool(4);
+  core::PerWorkerStats pw;
+  (void)apps::nqueens_hybrid(pool, prog, th, {}, &pw);
+  EXPECT_EQ(pw.slots(), 4u);
+  EXPECT_GT(pw.merged().tasks_executed, 0u);
+  for (const auto& w : pw.workers) {
+    EXPECT_GE(w.simd_utilization(), 0.0);
+    EXPECT_LE(w.simd_utilization(), 1.0);
+  }
+}
+
+TEST(HybridTaskblock, StaticPartitionStatsAreDeterministic) {
+  const apps::UtsProgram prog(apps::UtsParams{64, 4, 0.22, 19});
+  const auto th = core::Thresholds::for_block_size(prog.simd_width, 512, 64);
+  rt::ForkJoinPool pool(3);
+  rt::HybridOptions opt;
+  opt.static_partition = true;
+  core::PerWorkerStats a, b;
+  (void)apps::uts_hybrid(pool, prog, th, opt, &a);
+  (void)apps::uts_hybrid(pool, prog, th, opt, &b);
+  ASSERT_EQ(a.slots(), b.slots());
+  for (std::size_t s = 0; s < a.slots(); ++s) {
+    EXPECT_EQ(a.workers[s].steps_total, b.workers[s].steps_total) << "slot " << s;
+    EXPECT_EQ(a.workers[s].tasks_executed, b.workers[s].tasks_executed) << "slot " << s;
+  }
+}
+
+}  // namespace

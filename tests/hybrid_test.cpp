@@ -177,6 +177,89 @@ TEST(BlockedEngine, EngineReuseAcrossRunsIsClean) {
   }
 }
 
+// ---- frame-level work donation ------------------------------------------------------
+
+// Donor double that is always hungry and records every donated frame.
+template <int W>
+struct CollectingDonor final : BlockedTraversal<W>::Donor {
+  std::vector<std::pair<std::int32_t, std::vector<std::int32_t>>> frames;
+  bool hungry = true;
+  bool want() override { return hungry; }
+  void take(std::int32_t node, const char&, const std::int32_t* ids,
+            std::size_t n) override {
+    frames.emplace_back(node, std::vector<std::int32_t>(ids, ids + n));
+  }
+};
+
+TEST(BlockedEngineDonation, SplitsBottomFrameAndPreservesCoverage) {
+  // 10 queries on W=4 with min donatable block 2·W = 8: exactly the root
+  // frame is donatable, so one donation fires (tail half, ids 5..9) and the
+  // victim keeps 0..4.  Replaying the donated frame on a second engine must
+  // restore exact once-per-(node, query) coverage.
+  std::map<std::pair<std::int32_t, std::int32_t>, int> seen;
+  const auto step = [&](std::int32_t node, const simd::batch<std::int32_t, 4>& qid,
+                        std::uint32_t mask, char) -> std::uint32_t {
+    for (int l = 0; l < 4; ++l) {
+      if ((mask >> l) & 1u) seen[{node, qid[l]}] += 1;
+    }
+    return mask;
+  };
+  const auto keep = [](char p) { return p; };
+  BlockedTraversal<4> victim(0);
+  CollectingDonor<4> donor;
+  victim.set_donor(&donor);
+  core::ExecStats st;
+  victim.run(0, char{0}, 0, 10, perfect_children, step, keep, &st);
+  ASSERT_EQ(donor.frames.size(), 1u);
+  EXPECT_EQ(st.donated_frames, 1u);
+  EXPECT_EQ(donor.frames[0].first, 0);  // bottom frame: the root
+  EXPECT_EQ(donor.frames[0].second, (std::vector<std::int32_t>{5, 6, 7, 8, 9}));
+  BlockedTraversal<4> thief(0);
+  for (const auto& [node, ids] : donor.frames) {
+    thief.run_frame(node, char{0}, ids.data(), ids.size(), perfect_children, step, keep);
+  }
+  EXPECT_EQ(seen.size(), 7u * 10u);
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1) << key.first << "," << key.second;
+  }
+}
+
+TEST(BlockedEngineDonation, RespectsMinimumBlock) {
+  // 4 queries < 2·W: nothing is donatable even with a permanently hungry
+  // donor, and the run completes alone.
+  int visits = 0;
+  BlockedTraversal<4> eng(0);
+  CollectingDonor<4> donor;
+  eng.set_donor(&donor);
+  eng.run(
+      0, char{0}, 0, 4, perfect_children,
+      [&](std::int32_t, const simd::batch<std::int32_t, 4>&, std::uint32_t mask, char) {
+        visits += std::popcount(mask);
+        return mask;
+      },
+      [](char p) { return p; });
+  EXPECT_TRUE(donor.frames.empty());
+  EXPECT_EQ(visits, 7 * 4);
+}
+
+TEST(BlockedEngineDonation, DegenerateClassicModeNeverDonates) {
+  // t_reexp above the query count: every frame finishes in masked-lockstep
+  // mode below the donation floor, so donation silently never fires.
+  BlockedTraversal<4> eng(std::size_t{1} << 20);
+  CollectingDonor<4> donor;
+  eng.set_donor(&donor);
+  int visits = 0;
+  eng.run(
+      0, char{0}, 0, 32, perfect_children,
+      [&](std::int32_t, const simd::batch<std::int32_t, 4>&, std::uint32_t mask, char) {
+        visits += std::popcount(mask);
+        return mask;
+      },
+      [](char p) { return p; });
+  EXPECT_TRUE(donor.frames.empty());
+  EXPECT_EQ(visits, 7 * 32);
+}
+
 // ---- app equivalence matrix ---------------------------------------------------------
 
 struct TraversalFixtures {
@@ -293,6 +376,35 @@ TEST(HybridEquivalence, BarnesHutW8) { expect_barneshut_matches_seq<8>(); }
 TEST(HybridEquivalence, BarnesHutW4) { expect_barneshut_matches_seq<4>(); }
 
 // ---- per-worker stats ---------------------------------------------------------------
+
+TEST(HybridDonation, ForcedDonationKeepsResultsExact) {
+  // grain ≥ n suppresses range splitting entirely, so the whole query range
+  // lands on one worker and frame donation is the only balancing channel:
+  // the victim's deque stays empty, the first poll donates.  The count must
+  // still match the sequential oracle and the donation counter must move.
+  auto& f = fixtures();
+  const apps::PointCorrProgram prog{&f.pts, &f.kdtree, 0.03f};
+  const std::uint64_t expected = apps::pointcorr_sequential(prog);
+  rt::ForkJoinPool pool(2);
+  rt::HybridOptions opt;
+  opt.t_reexp = 16;
+  opt.donation = true;
+  opt.grain = static_cast<std::int32_t>(f.pts.size());
+  core::PerWorkerStats pw;
+  EXPECT_EQ(lockstep::hybrid_pointcorr<8>(pool, prog, opt, &pw), expected);
+  EXPECT_GE(pw.merged().donated_frames, 1u);
+}
+
+TEST(HybridDonation, DisabledDonationReportsNoDonatedFrames) {
+  auto& f = fixtures();
+  const apps::PointCorrProgram prog{&f.pts, &f.kdtree, 0.03f};
+  rt::ForkJoinPool pool(4);
+  rt::HybridOptions opt;
+  opt.t_reexp = 16;  // donation defaults to off
+  core::PerWorkerStats pw;
+  (void)lockstep::hybrid_pointcorr<8>(pool, prog, opt, &pw);
+  EXPECT_EQ(pw.merged().donated_frames, 0u);
+}
 
 TEST(HybridStats, SlotsMergeAndStayInRange) {
   auto& f = fixtures();

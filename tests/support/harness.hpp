@@ -178,19 +178,23 @@ void expect_par_matrix(const Program& prog, std::span<const typename Program::Ta
 
 // One cell of the hybrid vector×multicore matrix (runtime/hybrid.hpp): the
 // acceptance axes are worker count × re-expansion threshold × partition
-// mode; the engine width W ∈ {4, 8} is a template parameter the suites loop
-// at compile time.  Thresholds span pure-blocked (0), a mid value that
-// exercises both modes, and "larger than any query set" (the degenerate
-// classic-lockstep case).
+// mode × frame donation; the engine width W ∈ {4, 8} is a template
+// parameter the suites loop at compile time.  Thresholds span pure-blocked
+// (0), a mid value that exercises both modes, and "larger than any query
+// set" (the degenerate classic-lockstep case).  Donation cells exist only
+// for the dynamic partition — a static partition never donates — and pin
+// the acceptance claim that donated frames leave results bit-identical.
 struct HybridCase {
   int workers;
   std::size_t t_reexp;
   bool static_partition;
+  bool donation = false;
 
   tb::rt::HybridOptions options() const {
     tb::rt::HybridOptions o;
     o.t_reexp = t_reexp;
     o.static_partition = static_partition;
+    o.donation = donation;
     return o;
   }
 };
@@ -201,6 +205,7 @@ inline const std::vector<HybridCase>& hybrid_cases() {
     for (const int w : {1, 2, 4}) {
       for (const std::size_t t : {std::size_t{0}, std::size_t{16}, std::size_t{1} << 30}) {
         for (const bool s : {false, true}) v.push_back({w, t, s});
+        v.push_back({w, t, /*static_partition=*/false, /*donation=*/true});
       }
     }
     return v;
@@ -210,7 +215,7 @@ inline const std::vector<HybridCase>& hybrid_cases() {
 
 inline std::string hybrid_name(const HybridCase& c) {
   return "w" + std::to_string(c.workers) + "_t" + std::to_string(c.t_reexp) +
-         (c.static_partition ? "_static" : "_dynamic");
+         (c.static_partition ? "_static" : "_dynamic") + (c.donation ? "_donate" : "");
 }
 
 // Invokes fn(pool, case) for every hybrid cell, constructing the pool once

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Docs health gate (the ci.yml "docs" job):
+#   1. every relative markdown link in README.md and docs/*.md resolves;
+#   2. every src/ subdirectory is mentioned in docs/ARCHITECTURE.md.
+# Keeping this mechanical is what stops the architecture docs from rotting
+# as subsystems are added.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+status=0
+
+# 1. Relative link targets: ](path) and ](path#anchor); external schemes skip.
+for doc in README.md docs/*.md; do
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue  # pure in-page anchor
+    if [ ! -e "$(dirname "$doc")/$path" ]; then
+      echo "BROKEN LINK in $doc: $target"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\((.*)\)$/\1/')
+done
+
+# 2. Every src/ subsystem must appear (as "name/") in the architecture doc.
+for dir in src/*/; do
+  name="$(basename "$dir")"
+  if ! grep -q "${name}/" docs/ARCHITECTURE.md; then
+    echo "docs/ARCHITECTURE.md does not mention src subsystem: ${name}"
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "docs OK"
+exit "$status"
