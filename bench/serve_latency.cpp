@@ -1,0 +1,241 @@
+// Query-serving latency/throughput sweep over the hybrid executor.
+//
+// The serving story: the paper's traversal kernels are "N queries against a
+// shared tree" — the shape of an online serving system.  This driver stands
+// up the src/serve/ front end (bounded MPMC queue → admission batcher →
+// persistent ForkJoinPool) for knn and pointcorr and sweeps offered load ×
+// batch policy:
+//
+//   load=low   open-loop Poisson arrivals at a fixed per-scale rate.
+//              Latency stamps use *scheduled* arrival times, so queueing
+//              delay from server stalls is charged to every affected query
+//              (no coordinated omission).  Here batching trades a bounded
+//              wait (--max-wait-us) for denser blocks.
+//   load=sat   closed-loop: submit as fast as the queue accepts.  Latency
+//              means time-in-system; throughput (completed/busy_seconds) is
+//              the capacity measurement where batch=1 — the classic
+//              serve-one-at-a-time baseline — must lose to batching,
+//              because dense blocks amortize re-expansion exactly as the
+//              offline path does.
+//
+// Each (kernel, load, batch) run serves every query id exactly once
+// (round-robin over the dataset), so knn's k-best digest is comparable
+// against the sequential oracle — serving a query twice would corrupt its
+// neighbor list with duplicate inserts.
+//
+// JSON records (bench-results v1): policy = metric ("p50"/"p99"/"p999" in
+// unit "seconds", "qps" in unit "qps" — higher-is-better), variant =
+// "load=<low|sat>/batch=<B>", layer = "serve".  Latency percentiles carry
+// tail noise; the nightly gate uses a wider threshold for them than for
+// throughput (see .github/workflows/nightly-bench.yml).
+//
+// Output: CSV `benchmark,load,batch,p50_us,p99_us,p999_us,qps`.
+// Flags: --scale=test|default|paper, --workers=4, --benchmarks=knn,pointcorr,
+//        --max-wait-us=1000, --format=json, --out=
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/knn.hpp"
+#include "apps/pointcorr.hpp"
+#include "bench/support/report.hpp"
+#include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/hybrid.hpp"
+#include "serve/latency.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/pool_runner.hpp"
+#include "serve/server.hpp"
+#include "spatial/kdtree.hpp"
+
+namespace {
+
+struct ScaleConfig {
+  std::size_t points = 20000;
+  int k = 4;
+  float rad2 = 0.02f;
+  double low_rate_qps = 5000.0;
+  std::vector<std::size_t> batches{1, 16, 64, 256};
+};
+
+ScaleConfig scale_config(const std::string& scale) {
+  if (scale == "test") return {2000, 4, 0.05f, 2000.0, {1, 32}};
+  if (scale == "paper") return {100000, 4, 0.01f, 20000.0, {1, 64, 512}};
+  return {};
+}
+
+struct RunResult {
+  tb::serve::LatencySummary lat;
+  double qps = 0.0;
+  std::string digest;
+};
+
+// Serves every query id in [0, id_space) exactly once through `runner`,
+// under the given load and batch policy, and summarizes what came back.
+RunResult run_serve(tb::serve::QueryServer::BatchRunner runner, std::int32_t id_space,
+                    double rate_qps, const tb::serve::BatchPolicy& policy) {
+  tb::serve::ServerOptions sopt;
+  sopt.policy = policy;
+  tb::serve::QueryServer server(sopt, std::move(runner));
+  server.start();
+  tb::serve::LoadGenOptions lg;
+  lg.rate_qps = rate_qps;
+  lg.total = static_cast<std::size_t>(id_space);
+  lg.id_space = id_space;
+  lg.round_robin = true;
+  tb::serve::generate_load(server, lg);
+  server.stop();
+  RunResult r;
+  r.lat = tb::serve::summarize_latencies(server.latencies_s());
+  const double busy = server.busy_seconds();
+  r.qps = busy > 0 ? static_cast<double>(server.completed()) / busy : 0.0;
+  return r;
+}
+
+// Schedule-independent knn digest: FNV-1a over the final k-best distances
+// (same formula as the table2 suite, so digests cross-check the oracle).
+std::string knn_digest(const tb::apps::KnnState& state, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::int32_t q = 0; q < static_cast<std::int32_t>(n); ++q) {
+    for (const float d : state.distances(q)) {
+      const auto bits = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<double>(d) * 1e6));
+      h = (h ^ bits) * 1099511628211ull;
+    }
+  }
+  return std::to_string(h);
+}
+
+void record(tbench::Reporter& rep, const std::string& bench, const std::string& variant,
+            int workers, const RunResult& r) {
+  const auto metric = [&](const char* name, const char* unit, double value) {
+    auto proto = rep.make(bench, variant, name, "serve", workers);
+    proto.digest = r.digest;
+    rep.add_metric(std::move(proto), unit, value);
+  };
+  metric("p50", "seconds", r.lat.p50);
+  metric("p99", "seconds", r.lat.p99);
+  metric("p999", "seconds", r.lat.p999);
+  metric("qps", "qps", r.qps);
+}
+
+std::string variant_name(const char* load, std::size_t batch) {
+  return std::string("load=") + load + "/batch=" + std::to_string(batch);
+}
+
+void print_row(const std::string& bench, const char* load, std::size_t batch,
+               const RunResult& r) {
+  std::printf("%s,%s,%zu,%.1f,%.1f,%.1f,%.0f\n", bench.c_str(), load, batch,
+              r.lat.p50 * 1e6, r.lat.p99 * 1e6, r.lat.p999 * 1e6, r.qps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbench::Flags flags(argc, argv);
+  tbench::Reporter rep("serve_latency", flags);
+  const ScaleConfig cfg = scale_config(rep.scale());
+  const int workers = static_cast<int>(flags.get_int("workers", 4));
+  const std::string filter = flags.get("benchmarks", "knn,pointcorr");
+  const std::int64_t max_wait_ns = flags.get_int("max-wait-us", 1000) * 1000;
+
+  tb::rt::ForkJoinPool pool(workers);
+  tb::rt::HybridOptions opt;
+  using KnnEngine = tb::lockstep::BlockedTraversal<tb::apps::KnnProgram::simd_width>;
+  using PcEngine = tb::lockstep::BlockedTraversal<tb::apps::PointCorrProgram::simd_width>;
+
+  std::printf("benchmark,load,batch,p50_us,p99_us,p999_us,qps\n");
+
+  // (load mode, offered rate): rate 0 = closed-loop saturation.
+  const std::pair<const char*, double> loads[] = {{"low", cfg.low_rate_qps}, {"sat", 0.0}};
+
+  if (tbench::selected(filter, "knn")) {
+    const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
+    const auto tree = tb::spatial::KdTree::build(points, 16);
+    const auto n = static_cast<std::int32_t>(points.size());
+    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+    // Oracle digest for the per-run digest field.
+    std::string oracle;
+    {
+      tb::apps::KnnState state(points.size(), cfg.k);
+      tb::apps::KnnProgram prog{&points, &tree, &state};
+      tb::apps::knn_sequential(prog);
+      oracle = knn_digest(state, points.size());
+    }
+    double sat_qps_b1 = 0.0, sat_qps_batched = 0.0;
+    for (const auto& [load, rate] : loads) {
+      for (const std::size_t batch : cfg.batches) {
+        // Fresh state per run: serving each id exactly once reproduces the
+        // offline result, so the digest must match the sequential oracle.
+        tb::apps::KnnState state(points.size(), cfg.k);
+        tb::apps::KnnProgram prog{&points, &tree, &state};
+        auto runner = tb::serve::make_pool_runner<KnnEngine>(
+            pool, opt, [&prog, &tree](const std::int32_t* ids, std::size_t count,
+                                      KnnEngine& engine) {
+              tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
+            });
+        const tb::serve::BatchPolicy policy{batch, batch == 1 ? 0 : max_wait_ns};
+        RunResult r = run_serve(std::move(runner), n, rate, policy);
+        r.digest = knn_digest(state, points.size());
+        if (r.digest != oracle) {
+          std::fprintf(stderr, "error: knn serve digest mismatch (%s)\n",
+                       variant_name(load, batch).c_str());
+          return 1;
+        }
+        record(rep, "knn", variant_name(load, batch), workers, r);
+        print_row("knn", load, batch, r);
+        if (std::string(load) == "sat") {
+          if (batch == 1) sat_qps_b1 = r.qps;
+          else sat_qps_batched = std::max(sat_qps_batched, r.qps);
+        }
+      }
+    }
+    if (sat_qps_b1 > 0 && sat_qps_batched > 0) {
+      std::printf("# knn saturation: best batched %.0f qps vs batch=1 %.0f qps (%.2fx)\n",
+                  sat_qps_batched, sat_qps_b1, sat_qps_batched / sat_qps_b1);
+    }
+  }
+
+  if (tbench::selected(filter, "pointcorr")) {
+    const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
+    const auto tree = tb::spatial::KdTree::build(points, 16);
+    const auto n = static_cast<std::int32_t>(points.size());
+    tb::apps::PointCorrProgram prog{&points, &tree, cfg.rad2};
+    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::PointCorrProgram::simd_width);
+    const std::uint64_t oracle = tb::apps::pointcorr_sequential(prog);
+    for (const auto& [load, rate] : loads) {
+      for (const std::size_t batch : cfg.batches) {
+        // Per-slot partial counts: slots never run concurrently, padded
+        // against false sharing (same idiom as hybrid_pointcorr).
+        std::vector<tb::rt::Padded<std::uint64_t>> parts(
+            static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
+        auto runner = tb::serve::make_pool_runner<PcEngine>(
+            pool, opt, [&prog, &tree, &parts](const std::int32_t* ids, std::size_t count,
+                                              PcEngine& engine) {
+              const auto slot =
+                  static_cast<std::size_t>(tb::rt::ForkJoinPool::worker_id());
+              parts[slot].value +=
+                  tb::lockstep::blocked_pointcorr_frame(prog, tree.root, ids, count, engine);
+            });
+        const tb::serve::BatchPolicy policy{batch, batch == 1 ? 0 : max_wait_ns};
+        RunResult r = run_serve(std::move(runner), n, rate, policy);
+        std::uint64_t total = 0;
+        for (const auto& p : parts) total += p.value;
+        r.digest = std::to_string(total);
+        if (total != oracle) {
+          std::fprintf(stderr, "error: pointcorr serve count mismatch (%s)\n",
+                       variant_name(load, batch).c_str());
+          return 1;
+        }
+        record(rep, "pointcorr", variant_name(load, batch), workers, r);
+        print_row("pointcorr", load, batch, r);
+      }
+    }
+  }
+
+  return rep.finish();
+}

@@ -11,7 +11,8 @@
 // Units: a record's `unit` says what seconds_best measures and which
 // direction is better.  "seconds" (wall time), "steps"/"frames"/"tasks"/
 // "count" (scheduler accounting) are lower-is-better; "utilization",
-// "ratio", "speedup", "occupancy" are higher-is-better.  Deterministic
+// "ratio", "speedup", "occupancy", "qps" (serving throughput) are
+// higher-is-better.  Deterministic
 // metrics (Fig 4 utilization, simulator makespans) diff exactly; wall times
 // carry host noise and are gated via ratio-unit records where possible.
 #pragma once
@@ -66,7 +67,7 @@ struct Result {
 
   bool lower_is_better() const {
     return !(unit == "utilization" || unit == "ratio" || unit == "speedup" ||
-             unit == "occupancy");
+             unit == "occupancy" || unit == "qps");
   }
   // Identity for joining two result files (everything but the measurements).
   std::string key() const {

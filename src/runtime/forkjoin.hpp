@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -115,6 +116,10 @@ public:
 
   ~ForkJoinPool() {
     stop_.store(true, std::memory_order_release);
+    // The empty critical section closes the race with a worker that checked
+    // the park predicate but has not yet blocked: we cannot acquire mu_
+    // between its predicate check and its wait, so our notify always lands.
+    { std::lock_guard lock(mu_); }
     cv_.notify_all();
     for (auto& t : threads_) t.join();
   }
@@ -127,10 +132,20 @@ public:
 
   // ---- external entry -------------------------------------------------------
   // Runs `f` as a root task on the pool and blocks until it completes.
-  // Must be called from a non-worker thread.
+  //
+  // Reentrancy: called from one of THIS pool's workers, `f` executes inline
+  // — the calling worker already participates in the pool, and routing the
+  // job through the injector would deadlock a pool whose every worker is
+  // blocked inside such a call (silently so in Release before this guard: a
+  // 1-worker pool hung forever).  Called from a worker of a DIFFERENT pool
+  // it throws std::logic_error: `f` would spawn onto the wrong pool's
+  // deques, so there is no safe inline execution to fall back to.
   template <class F>
   std::invoke_result_t<F&> run(F&& f) {
-    assert(tls_.pool == nullptr && "run() must not be called from a worker");
+    if (tls_.pool == this) return std::invoke(f);
+    if (tls_.pool != nullptr) {
+      throw std::logic_error("ForkJoinPool::run: called from a worker of a different pool");
+    }
     using R = std::invoke_result_t<F&>;
     if constexpr (std::is_void_v<R>) {
       SpawnJob job{[&f] { std::invoke(f); }};
@@ -153,8 +168,17 @@ public:
   template <class F>
   void spawn_detached(F&& f, WaitGroup& wg) {
     wg.add();
-    auto* job = new DetachedJob<std::decay_t<F>>(std::forward<F>(f), &wg);
+    // detached_live_ keeps the park predicate true until the job has RUN —
+    // detached jobs can outlive the root that spawned them, and a worker
+    // parked on an "no active roots" signal alone would never steal them.
+    detached_live_.fetch_add(1);  // seq_cst: pairs with the sleepers_ handshake
+    auto body = [this, fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
+      fn();
+      detached_live_.fetch_sub(1);
+    };
+    auto* job = new DetachedJob<decltype(body)>(std::move(body), &wg);
     workers_[static_cast<std::size_t>(tls_.id)]->deque.push_bottom(job);
+    wake_sleepers();
   }
 
   // Pops the calling worker's own deque.  Exposed so schedulers can run
@@ -171,9 +195,12 @@ public:
     return workers_[static_cast<std::size_t>(tls_.id)]->deque.empty_approx();
   }
 
-  // Runs a job obtained from a deque.  Jobs already taken by another
-  // thread are skipped (possible only for injector re-offers; deque hands
-  // each entry to exactly one taker).
+  // Runs a job taken from a deque or the injector.  Both queues hand each
+  // entry to exactly one taker (the injector pops under its lock; the
+  // Chase–Lev steal/pop protocol guarantees single ownership), so the
+  // acquire cannot lose to a legitimate concurrent taker.  try_acquire is
+  // defense for the enqueue-at-most-once invariant itself: a job object
+  // accidentally enqueued twice runs once instead of twice.
   void execute(JobBase* job) {
     if (job->try_acquire()) job->run_fn(job);
   }
@@ -222,6 +249,10 @@ public:
     for (const auto& w : workers_) n += w->steal_attempts.load(std::memory_order_relaxed);
     return n;
   }
+  // Workers currently parked on the idle condition variable.  Exact only
+  // while the pool is externally quiescent; used by the idle-CPU regression
+  // tests and as serving-layer telemetry.
+  int parked_workers() const { return sleepers_.load(); }
 
 private:
   struct Worker {
@@ -241,28 +272,53 @@ private:
   };
   inline static thread_local Tls tls_;
 
+  // True when the pool may hold runnable work: an external root is in
+  // flight, or detached jobs are live (they can outlive their root).  The
+  // default seq_cst loads pair with the seq_cst increments in submit_root /
+  // spawn_detached and the sleepers_ handshake: either the waker observes
+  // the sleeper (and notifies), or the sleeper observes the new work.
+  bool maybe_work() const { return active_roots_.load() > 0 || detached_live_.load() > 0; }
+
+  // Edge-triggered idle parking: no timed poll, so an idle pool burns no
+  // CPU and the first job after a quiet period is dispatched at
+  // condition-variable wake latency instead of a poll-interval stall (the
+  // old 5 ms wait_for put a floor under serving-layer tail latency).
   void worker_loop(int id) {
     tls_ = {this, id};
     while (!stop_.load(std::memory_order_acquire)) {
-      if (active_roots_.load(std::memory_order_acquire) > 0) {
+      if (maybe_work()) {
         if (!help_once()) relax();
-      } else {
-        std::unique_lock lock(mu_);
-        cv_.wait_for(lock, std::chrono::milliseconds(5), [this] {
-          return stop_.load(std::memory_order_acquire) ||
-                 active_roots_.load(std::memory_order_acquire) > 0;
-        });
+        continue;
       }
+      std::unique_lock lock(mu_);
+      sleepers_.fetch_add(1);
+      cv_.wait(lock,
+               [this] { return stop_.load(std::memory_order_acquire) || maybe_work(); });
+      sleepers_.fetch_sub(1);
     }
     tls_ = Tls{};
   }
 
+  // Wakes parked workers after new detached work was published.  Callers
+  // must have already made the work visible through a seq_cst store; if the
+  // sleepers_ load here misses a worker that is about to park, that worker's
+  // predicate re-check (which follows its own seq_cst sleepers_ increment)
+  // is guaranteed to see the published work instead.
+  void wake_sleepers() {
+    if (sleepers_.load() == 0) return;
+    { std::lock_guard lock(mu_); }
+    cv_.notify_all();
+  }
+
   void submit_root(JobBase& job) {
+    // Publish before taking mu_: a worker parks only after re-checking the
+    // predicate under mu_, so it either sees this increment or parks before
+    // we acquire the lock — in which case the notify below wakes it.
+    active_roots_.fetch_add(1);
     {
       std::lock_guard lock(mu_);
       injector_.push_back(&job);
     }
-    active_roots_.fetch_add(1, std::memory_order_acq_rel);
     cv_.notify_all();
     job.state.wait(static_cast<std::uint8_t>(JobState::Pending));
     while (!job.done()) {
@@ -303,6 +359,8 @@ private:
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<int> active_roots_{0};
+  std::atomic<std::int64_t> detached_live_{0};  // spawned minus executed detached jobs
+  std::atomic<int> sleepers_{0};                // workers parked on cv_
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<JobBase*> injector_;  // guarded by mu_

@@ -131,7 +131,8 @@ void hybrid_distribute(ForkJoinPool& pool, std::int32_t n, const HybridOptions& 
 // workers.  `slot` indexes per-slot contexts: the chunk index in static
 // mode (deterministic), the executing worker id in dynamic mode.  Ranges
 // mapped to one slot never execute concurrently, so per-slot state needs no
-// synchronization.  Must be called from a non-worker thread.
+// synchronization.  Call from a non-worker thread, or reentrantly from one
+// of this pool's own workers (ForkJoinPool::run executes inline there).
 template <class Fn>
 void hybrid_for(ForkJoinPool& pool, std::int32_t n, const HybridOptions& opt, Fn&& fn) {
   if (n <= 0) return;

@@ -1,0 +1,120 @@
+// Admission batching: max-batch / max-wait policy over arrival timestamps.
+//
+// The batcher is a pure state machine over std::int64_t nanoseconds — it
+// never reads a clock.  The admission thread feeds it (id, arrival_ns)
+// pairs drained from the MPMC queue and asks two questions: is a batch
+// ready *now*, and if not, when is the next deadline?  Because all time
+// flows in through parameters, the unit tests drive the policy in exact
+// virtual time and assert batch boundaries deterministically.
+//
+// Policy: a batch dispatches when it reaches `max_batch` queries (dense
+// blocks amortize re-expansion exactly as the offline path does) or when
+// the OLDEST pending query has waited `max_wait_ns` (bounding the latency
+// cost of waiting for batch-mates).  max_wait_ns = 0 degenerates to
+// serve-immediately: every drain dispatches whatever has arrived.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/clock.hpp"
+
+namespace tb::serve {
+
+struct BatchPolicy {
+  std::size_t max_batch = 64;
+  std::int64_t max_wait_ns = 1'000'000;  // 1 ms
+};
+
+// One dispatchable batch: dense id block plus per-query arrival stamps
+// (parallel arrays) so the dispatcher can compute per-query latency.
+struct Batch {
+  std::vector<std::int32_t> ids;
+  std::vector<std::int64_t> arrival_ns;
+
+  std::size_t size() const { return ids.size(); }
+  void clear() {
+    ids.clear();
+    arrival_ns.clear();
+  }
+};
+
+class AdmissionBatcher {
+public:
+  explicit AdmissionBatcher(BatchPolicy policy) : policy_(policy) {
+    if (policy_.max_batch == 0) policy_.max_batch = 1;
+  }
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  // Admits one query.  Arrivals must be pushed oldest-first (the admission
+  // thread drains a FIFO queue, so this holds by construction).
+  void push(std::int32_t id, std::int64_t arrival_ns) {
+    ids_.push_back(id);
+    arrival_.push_back(arrival_ns);
+  }
+
+  std::size_t pending() const { return ids_.size() - next_; }
+
+  // True when a batch should dispatch at virtual time `now_ns`: the size
+  // trigger fired, or the oldest pending query has waited max_wait_ns.
+  bool ready(std::int64_t now_ns) const {
+    const std::size_t n = pending();
+    if (n == 0) return false;
+    if (n >= policy_.max_batch) return true;
+    return now_ns - arrival_[next_] >= policy_.max_wait_ns;
+  }
+
+  // Moves up to max_batch oldest pending queries into `out` (appending).
+  // Returns false (and appends nothing) when no batch is ready at `now_ns`.
+  bool pop_ready(std::int64_t now_ns, Batch& out) {
+    if (!ready(now_ns)) return false;
+    take(std::min(pending(), policy_.max_batch), out);
+    return true;
+  }
+
+  // Unconditionally drains up to max_batch pending queries (shutdown path:
+  // dispatch what's left without waiting out the deadline).  Returns false
+  // when nothing is pending.
+  bool flush(Batch& out) {
+    const std::size_t n = std::min(pending(), policy_.max_batch);
+    if (n == 0) return false;
+    take(n, out);
+    return true;
+  }
+
+  // Virtual time at which ready() will flip true with no further arrivals:
+  // kNoDeadline when empty, "now" (the oldest arrival itself — already
+  // ready) when the size trigger has fired, otherwise oldest + max_wait.
+  std::int64_t next_deadline_ns() const {
+    if (pending() == 0) return kNoDeadline;
+    if (pending() >= policy_.max_batch) return arrival_[next_];
+    return arrival_[next_] + policy_.max_wait_ns;
+  }
+
+private:
+  void take(std::size_t n, Batch& out) {
+    out.ids.insert(out.ids.end(), ids_.begin() + static_cast<std::ptrdiff_t>(next_),
+                   ids_.begin() + static_cast<std::ptrdiff_t>(next_ + n));
+    out.arrival_ns.insert(out.arrival_ns.end(),
+                          arrival_.begin() + static_cast<std::ptrdiff_t>(next_),
+                          arrival_.begin() + static_cast<std::ptrdiff_t>(next_ + n));
+    next_ += n;
+    if (next_ == ids_.size()) {
+      ids_.clear();
+      arrival_.clear();
+      next_ = 0;
+    }
+  }
+
+  BatchPolicy policy_;
+  // Pending queries live in [next_, ids_.size()) of these parallel arrays;
+  // the consumed prefix is compacted away whenever the backlog drains.
+  std::vector<std::int32_t> ids_;
+  std::vector<std::int64_t> arrival_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace tb::serve

@@ -1,0 +1,54 @@
+// Latency-sample summarization for the serving bench: nearest-rank
+// percentiles over per-query latencies in seconds.
+//
+// Nearest-rank (not interpolated) so a percentile is always an actual
+// observed sample — p999 of 1000 samples is the 999th order statistic, and
+// two runs over identical sample sets report identical percentiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tb::serve {
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+// Nearest-rank percentile of an ascending-sorted sample vector:
+// rank = ceil(q/100 * N), clamped to [1, N].  The epsilon keeps an exact
+// mathematical rank from ceiling up one position when q has no exact
+// binary representation (99.9/100 * 1000 evaluates a hair above 999).
+inline double percentile_sorted(const std::vector<double>& sorted, double q_percent) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q_percent / 100.0 * n - 1e-9));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+// Sorts `samples` in place and returns the summary.
+inline LatencySummary summarize_latencies(std::vector<double>& samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile_sorted(samples, 50.0);
+  s.p99 = percentile_sorted(samples, 99.0);
+  s.p999 = percentile_sorted(samples, 99.9);
+  s.max = samples.back();
+  return s;
+}
+
+}  // namespace tb::serve

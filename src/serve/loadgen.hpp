@@ -1,0 +1,73 @@
+// Load generation for the serving bench: open-loop Poisson/uniform arrival
+// streams and a closed-loop saturation mode.
+//
+// Open loop (rate_qps > 0): arrival times are SCHEDULED up front from the
+// inter-arrival process and each submit carries its scheduled stamp, so a
+// slow server is charged queueing delay for every query that should have
+// been issued while it stalled (no coordinated omission).  The generator
+// sleeps until each scheduled instant and then submits with a blocking
+// `submit` — if the bounded queue is full the backpressure shows up as
+// latency, never as silently dropped load.
+//
+// Closed loop (rate_qps == 0): submit as fast as the queue accepts,
+// stamping actual submit time.  Recorded latencies then mean "time in
+// system under saturation" and throughput (completed / busy_seconds) is
+// the capacity measurement the batched-vs-batch=1 gate compares.
+//
+// Query ids: round_robin (i % id_space) serves every id exactly once when
+// total == id_space — required for digest-comparable knn runs, where
+// serving the same query twice would corrupt its k-best list with
+// duplicate inserts.  Otherwise ids are drawn uniformly from id_space.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/xoshiro.hpp"
+#include "serve/clock.hpp"
+#include "serve/server.hpp"
+
+namespace tb::serve {
+
+struct LoadGenOptions {
+  double rate_qps = 0.0;  // 0 = closed loop (saturation)
+  std::size_t total = 0;
+  std::int32_t id_space = 1;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  bool poisson = true;       // exponential inter-arrivals; false = fixed gaps
+  bool round_robin = false;  // i % id_space instead of uniform draws
+};
+
+// Runs the load in the calling thread; returns when all opt.total queries
+// have been accepted by the server.
+inline void generate_load(QueryServer& server, const LoadGenOptions& opt) {
+  rt::Xoshiro256 rng(opt.seed);
+  const auto next_id = [&](std::size_t i) {
+    if (opt.round_robin) {
+      return static_cast<std::int32_t>(i % static_cast<std::size_t>(opt.id_space));
+    }
+    return static_cast<std::int32_t>(rng.below(static_cast<std::uint32_t>(opt.id_space)));
+  };
+
+  if (opt.rate_qps <= 0.0) {
+    for (std::size_t i = 0; i < opt.total; ++i) server.submit(next_id(i), now_ns());
+    return;
+  }
+
+  const double gap_ns = 1e9 / opt.rate_qps;
+  std::int64_t next = now_ns();
+  for (std::size_t i = 0; i < opt.total; ++i) {
+    const std::int32_t id = next_id(i);
+    double gap = gap_ns;
+    if (opt.poisson) {
+      // Inverse-CDF exponential; uniform01() < 1 so the log argument is > 0.
+      gap = -std::log(1.0 - rng.uniform01()) * gap_ns;
+    }
+    next += static_cast<std::int64_t>(gap);
+    sleep_until_ns(next);
+    server.submit(id, next);
+  }
+}
+
+}  // namespace tb::serve

@@ -1,0 +1,48 @@
+// Bridges QueryServer batches onto the hybrid executor.
+//
+// A dispatched batch is an arbitrary dense id block, not a [0, n) range —
+// exactly the shape of the donated-frame entry point the blocked engines
+// already expose (Engine::run_frame / blocked_*_frame): re-expand an
+// explicit id list into a fresh root block and traverse.  make_pool_runner
+// therefore splits the batch over the pool with hybrid_for and hands each
+// subrange of ids to a per-slot engine via the caller's frame function.
+//
+// Engines persist across batches (per-slot block pools stay warm), which
+// is the point of a persistent serving pool: no per-request engine or
+// worker setup.  Ranges mapped to one slot never run concurrently
+// (hybrid_for's contract), so the per-slot engines need no locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "runtime/hybrid.hpp"
+#include "serve/server.hpp"
+
+namespace tb::serve {
+
+// frame_fn(const std::int32_t* ids, std::size_t count, Engine& engine) runs
+// the kernel's blocked traversal from the tree root over `ids` — e.g. a
+// lambda around blocked_knn_frame.  The returned runner owns one engine per
+// hybrid slot (shared_ptr: BatchRunner is a copyable std::function).
+template <class Engine, class FrameFn>
+QueryServer::BatchRunner make_pool_runner(rt::ForkJoinPool& pool, const rt::HybridOptions& opt,
+                                          FrameFn frame_fn) {
+  const int slots = rt::hybrid_slots(pool);
+  auto engines = std::make_shared<std::vector<Engine>>();
+  engines->reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) engines->emplace_back(opt.t_reexp);
+  return [&pool, opt, engines, frame_fn = std::move(frame_fn)](const std::int32_t* ids,
+                                                              std::size_t count) {
+    rt::hybrid_for(pool, static_cast<std::int32_t>(count), opt,
+                   [&](std::int32_t b, std::int32_t e, int slot) {
+                     frame_fn(ids + b, static_cast<std::size_t>(e - b),
+                              (*engines)[static_cast<std::size_t>(slot)]);
+                   });
+  };
+}
+
+}  // namespace tb::serve

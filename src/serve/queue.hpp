@@ -1,0 +1,116 @@
+// Bounded MPMC request queue — the admission edge of the serving layer.
+//
+// Vyukov-style bounded ring: each cell carries a sequence number that
+// arbitrates producers and consumers without a lock.  A producer claims a
+// cell whose sequence equals its ticket, writes the item, then publishes by
+// bumping the sequence; a consumer mirrors that one generation later.
+// Full/empty are detected from the cell sequence alone, so try_push and
+// try_pop never block and never spuriously fail under contention — they
+// fail only when the queue really is full/empty at that instant.
+//
+// This is deliberately a different structure from the runtime's Chase–Lev
+// deque: the deque is owner-biased (one pusher, LIFO pop, FIFO steal)
+// while the request queue has symmetric multi-producer multi-consumer
+// FIFO-ish semantics and stores items BY VALUE (requests outlive their
+// producer's stack frame, unlike spawn jobs).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "runtime/cacheline.hpp"
+
+namespace tb::serve {
+
+template <class T>
+class MpmcQueue {
+public:
+  // Capacity is rounded up to a power of two (minimum 8).
+  explicit MpmcQueue(std::size_t min_capacity) {
+    std::size_t cap = 8;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // False when the queue is full.
+  bool try_push(T v) {
+    Cell* cell;
+    std::size_t pos = head_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.value.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // cell still holds the previous generation: full
+      } else {
+        pos = head_.value.load(std::memory_order_relaxed);
+      }
+    }
+    cell->item = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Empty optional when the queue is empty.
+  std::optional<T> try_pop() {
+    Cell* cell;
+    std::size_t pos = tail_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.value.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // cell not yet published: empty
+      } else {
+        pos = tail_.value.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(cell->item));
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  // Racy size estimate (claimed minus consumed tickets); exact only when
+  // the queue is externally quiescent.
+  std::size_t size_approx() const {
+    const std::size_t h = head_.value.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.value.load(std::memory_order_relaxed);
+    return h >= t ? h - t : 0;
+  }
+
+private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T item{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines: producers only
+  // contend on head_, consumers on tail_.
+  rt::Padded<std::atomic<std::size_t>> head_{};
+  rt::Padded<std::atomic<std::size_t>> tail_{};
+};
+
+}  // namespace tb::serve

@@ -1,0 +1,216 @@
+// QueryServer: the in-process serving front end over the hybrid executor.
+//
+// Topology (one stage handoff, nested-dataflow style):
+//
+//   producers ──try_submit──▶ MpmcQueue ──drain──▶ AdmissionBatcher
+//                                │                        │ ready/deadline
+//                             doorbell              dense Batch
+//                                ▼                        ▼
+//                        admission thread ──────▶ BatchRunner (hybrid_for
+//                                                 over a ForkJoinPool)
+//
+// A single admission thread owns the batcher and the dispatch loop: it
+// drains the MPMC queue, asks the batcher for ready batches, runs each
+// batch synchronously through the user-supplied BatchRunner, and stamps
+// per-query latency (completion − arrival) when the batch returns.
+// Batches therefore serialize on the admission thread — intra-batch
+// parallelism comes from the runner fanning each dense id block out over
+// the pool, which is exactly the paper's traversal shape (many queries,
+// one shared tree).
+//
+// Parking mirrors the ForkJoinPool fix this layer depends on: when the
+// batcher has no deadline the admission thread sleeps on a condition
+// variable; producers ring a doorbell only when the thread advertised it
+// was napping (napping_ is a seq_cst flag mirroring the pool's sleepers_
+// counter), so the steady-state fast path costs producers one relaxed-ish
+// atomic load per submit.  When a deadline is pending, the thread sleeps
+// only until that deadline.
+//
+// Latency stamps use the ARRIVAL time supplied by the producer.  An
+// open-loop load generator passes the *scheduled* arrival time, which
+// makes the recorded latencies coordinated-omission-safe: a stalled server
+// charges the stall to every query that should have been issued meanwhile.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/clock.hpp"
+#include "serve/queue.hpp"
+
+namespace tb::serve {
+
+struct ServerOptions {
+  std::size_t queue_capacity = 4096;
+  BatchPolicy policy{};
+};
+
+class QueryServer {
+public:
+  // Runs one dense batch of query ids synchronously; called only from the
+  // admission thread.  Typically built with make_pool_runner (pool_runner.hpp).
+  using BatchRunner = std::function<void(const std::int32_t* ids, std::size_t count)>;
+
+  QueryServer(const ServerOptions& opt, BatchRunner runner)
+      : queue_(opt.queue_capacity), batcher_(opt.policy), runner_(std::move(runner)) {}
+
+  ~QueryServer() {
+    if (thread_.joinable()) stop();
+  }
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  void start() { thread_ = std::thread([this] { loop(); }); }
+
+  // Non-blocking submit; false when the request queue is full (caller's
+  // choice to drop, spin, or backpressure).  `arrival_ns` is the stamp
+  // latency is measured from — open-loop generators pass the scheduled
+  // arrival time, not now_ns().
+  bool try_submit(std::int32_t id, std::int64_t arrival_ns) {
+    if (!queue_.try_push(Request{id, arrival_ns})) return false;
+    doorbell();
+    return true;
+  }
+
+  // Blocking submit: yields until the queue accepts (closed-loop callers).
+  void submit(std::int32_t id, std::int64_t arrival_ns) {
+    while (!try_submit(id, arrival_ns)) std::this_thread::yield();
+  }
+
+  // Drains everything already admitted (flushing partial batches), then
+  // joins the admission thread.  Telemetry accessors are valid after this.
+  void stop() {
+    stopping_.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bell_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  // --- telemetry (admission-thread-private until stop() returns) ---
+
+  // Per-query latencies in seconds, dispatch-completion order.
+  std::vector<double>& latencies_s() { return latencies_s_; }
+  std::size_t completed() const { return completed_; }
+  std::size_t batches_dispatched() const { return batches_; }
+  std::size_t max_batch_seen() const { return max_batch_seen_; }
+  // Wall-clock span from first dispatch to last completion — the
+  // throughput denominator for closed-loop (saturation) runs.
+  double busy_seconds() const {
+    if (batches_ == 0) return 0.0;
+    return static_cast<double>(last_complete_ns_ - first_dispatch_ns_) * 1e-9;
+  }
+
+private:
+  struct Request {
+    std::int32_t id = 0;
+    std::int64_t arrival_ns = 0;
+  };
+
+  void drain_queue() {
+    while (auto req = queue_.try_pop()) batcher_.push(req->id, req->arrival_ns);
+  }
+
+  void dispatch(Batch& batch) {
+    if (batches_ == 0) first_dispatch_ns_ = now_ns();
+    runner_(batch.ids.data(), batch.size());
+    const std::int64_t done = now_ns();
+    for (const std::int64_t arrival : batch.arrival_ns) {
+      latencies_s_.push_back(static_cast<double>(done - arrival) * 1e-9);
+    }
+    completed_ += batch.size();
+    ++batches_;
+    max_batch_seen_ = std::max(max_batch_seen_, batch.size());
+    last_complete_ns_ = done;
+    batch.clear();
+  }
+
+  void loop() {
+    Batch batch;
+    for (;;) {
+      drain_queue();
+      if (batcher_.pop_ready(now_ns(), batch)) {
+        dispatch(batch);
+        continue;
+      }
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Shutdown: dispatch the partial tail without waiting out max_wait,
+        // re-draining in case producers raced the stop flag.
+        drain_queue();
+        while (batcher_.flush(batch)) dispatch(batch);
+        if (queue_.size_approx() == 0 && batcher_.pending() == 0) break;
+        continue;
+      }
+      park();
+    }
+  }
+
+  // Sleeps until the batcher's next deadline, a doorbell, or stop.  The
+  // napping_ flag is the Dekker handshake with doorbell(): we publish
+  // napping_ (seq_cst) before the final queue emptiness check, producers
+  // publish their push before loading napping_ — one side always sees the
+  // other, so a submit racing with park either gets drained by the loop or
+  // rings a bell we cannot miss.
+  void park() {
+    std::unique_lock<std::mutex> lock(mu_);
+    napping_.store(true, std::memory_order_seq_cst);
+    const auto wake = [this] {
+      if (bell_ || stopping_.load(std::memory_order_acquire)) return true;
+      return queue_.size_approx() != 0;
+    };
+    const std::int64_t deadline = batcher_.next_deadline_ns();
+    if (deadline == kNoDeadline) {
+      cv_.wait(lock, wake);
+    } else {
+      const std::int64_t left = deadline - now_ns();
+      if (left > 0) cv_.wait_for(lock, std::chrono::nanoseconds(left), wake);
+    }
+    napping_.store(false, std::memory_order_relaxed);
+    bell_ = false;
+  }
+
+  // Producer-side wake: skip the lock entirely unless the admission thread
+  // advertised it was napping.  The empty critical section orders the
+  // bell-setting store against a sleeper between its predicate check and
+  // its wait (same race-closing idiom as ForkJoinPool::wake_sleepers).
+  void doorbell() {
+    if (!napping_.load(std::memory_order_seq_cst)) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bell_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  MpmcQueue<Request> queue_;
+  AdmissionBatcher batcher_;
+  BatchRunner runner_;
+  std::thread thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool bell_ = false;
+  std::atomic<bool> napping_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<double> latencies_s_;
+  std::size_t completed_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t max_batch_seen_ = 0;
+  std::int64_t first_dispatch_ns_ = 0;
+  std::int64_t last_complete_ns_ = 0;
+};
+
+}  // namespace tb::serve

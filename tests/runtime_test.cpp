@@ -2,9 +2,12 @@
 // under concurrent stealing), fork-join pool correctness, reducers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -199,6 +202,92 @@ TEST(Pool, StealsHappenWithMultipleWorkers) {
   // With 4 workers at least one steal is overwhelmingly likely; this also
   // sanity-checks the counter plumbing.
   EXPECT_GT(pool.total_steal_attempts(), 0u);
+}
+
+// Polls until pred() holds or ~deadline_ms elapses; returns pred()'s final
+// value.  The idle/parking behaviour under test is asynchronous, so the
+// tests wait for it with a deadline instead of asserting instantaneously.
+template <class Pred>
+bool eventually(Pred pred, int deadline_ms = 2000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return pred();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// Regression (serving-layer prerequisite): an idle pool must park every
+// worker on the condition variable — the old worker loop woke 200×/s per
+// worker forever, burning CPU on an idle serving daemon.
+TEST(Pool, IdleWorkersPark) {
+  ForkJoinPool pool(2);
+  (void)pool.run([] { return 1; });  // spin up, then go idle
+  EXPECT_TRUE(eventually([&] { return pool.parked_workers() == 2; }));
+}
+
+// Regression: first-job dispatch latency after an idle period must be CV
+// wake latency, not quantized to the former 5 ms wait_for poll.  Best-of-N
+// against a bound well under 5 ms keeps this robust to scheduler noise
+// while still failing hard if the timed poll ever comes back.
+TEST(Pool, DispatchLatencyAfterIdleIsWellUnderOldPollInterval) {
+  ForkJoinPool pool(2);
+  double best_s = 1e9;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(eventually([&] { return pool.parked_workers() == 2; }));
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)pool.run([] { return 1; });
+    const auto t1 = std::chrono::steady_clock::now();
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  EXPECT_LT(best_s, 2.5e-3);
+}
+
+// Regression: run() from one of the pool's own workers used to be
+// assert-only — a Release build deadlocked a 1-worker pool.  It now
+// executes inline (it is already inside the pool's dispatch scope).
+TEST(Pool, ReentrantRunExecutesInline) {
+  ForkJoinPool pool(1);
+  const int v = pool.run([&] { return pool.run([] { return 42; }); });
+  EXPECT_EQ(v, 42);
+}
+
+// run() on a *different* pool from a worker thread cannot execute inline
+// (spawns inside f would land in the wrong pool's deques) and must throw.
+// The throw is caught inside the job body: an exception escaping a pool
+// job would terminate the worker thread.
+TEST(Pool, RunFromForeignWorkerThrows) {
+  ForkJoinPool outer(1);
+  ForkJoinPool inner(1);
+  const bool threw = outer.run([&] {
+    try {
+      inner.run([] {});
+      return false;
+    } catch (const std::logic_error&) {
+      return true;
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+// Regression: detached jobs spawned by a root that returns without waiting
+// must still run promptly — workers may park between the root's completion
+// and the detached jobs' execution, so spawn_detached has to wake sleepers
+// (the park predicate tracks live detached jobs).
+TEST(Pool, DetachedJobsOutliveRootAndComplete) {
+  ForkJoinPool pool(2);
+  WaitGroup wg;
+  std::atomic<int> count{0};
+  pool.run([&] {
+    for (int i = 0; i < 64; ++i) {
+      pool.spawn_detached([&count] { count.fetch_add(1, std::memory_order_relaxed); }, wg);
+    }
+    // Return with the wave still in flight; the external thread observes
+    // completion through the WaitGroup (never pool.wait from outside).
+  });
+  EXPECT_TRUE(eventually([&] { return wg.idle(); }, 5000));
+  EXPECT_EQ(count.load(), 64);
 }
 
 TEST(Xoshiro, DeterministicAndBelowBound) {

@@ -1,0 +1,123 @@
+// Stress tests for the serving layer (label: stress — repeated under TSan
+// by the weekly soak): MPMC queue conservation under concurrent producers
+// and consumers, and the full QueryServer under multi-producer load with
+// batches executing on a real ForkJoinPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/forkjoin.hpp"
+#include "serve/clock.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using tb::serve::MpmcQueue;
+using tb::serve::QueryServer;
+using tb::serve::ServerOptions;
+
+// Conservation: with 4 producers and 4 consumers hammering a small ring,
+// every pushed item is popped exactly once — no losses, no duplicates.
+TEST(ServeStress, MpmcConservation) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20000;
+  constexpr int kTotal = kProducers * kPerProducer;
+  MpmcQueue<std::int32_t> q(256);
+  std::vector<std::atomic<int>> taken(kTotal);
+  for (auto& t : taken) t.store(0);
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (popped.load(std::memory_order_acquire) < kTotal) {
+        if (auto v = q.try_pop()) {
+          taken[static_cast<std::size_t>(*v)].fetch_add(1);
+          popped.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto v = static_cast<std::int32_t>(p * kPerProducer + i);
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kTotal);
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(taken[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+// Full pipeline under multi-producer load: four submitter threads feed the
+// server concurrently while batches execute as parallel pool jobs; every
+// submitted query must be dispatched exactly once.
+TEST(ServeStress, MultiProducerServerConservation) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  tb::rt::ForkJoinPool pool(4);
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (auto& s : seen) s.store(0);
+  std::atomic<std::int64_t> sum{0};
+
+  ServerOptions opt;
+  opt.queue_capacity = 512;  // small queue: exercises producer backpressure
+  opt.policy = {/*max_batch=*/128, /*max_wait_ns=*/100'000};
+  QueryServer server(opt, [&](const std::int32_t* ids, std::size_t count) {
+    // Touch every id as a parallel pool job, like a real batch traversal.
+    pool.run([&] {
+      tb::rt::WaitGroup wg;
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::int32_t id = ids[i];
+        pool.spawn_detached(
+            [&, id] {
+              seen[static_cast<std::size_t>(id)].fetch_add(1);
+              sum.fetch_add(id, std::memory_order_relaxed);
+            },
+            wg);
+      }
+      pool.wait(wg);
+    });
+  });
+  server.start();
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        server.submit(p * kPerProducer + i, tb::serve::now_ns());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.stop();
+
+  EXPECT_EQ(server.completed(), static_cast<std::size_t>(kTotal));
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "query " << i;
+  }
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
+  EXPECT_EQ(server.latencies_s().size(), static_cast<std::size_t>(kTotal));
+}
+
+}  // namespace

@@ -1,0 +1,290 @@
+// Tests for the query-serving layer: MPMC queue semantics, the admission
+// batcher's max-batch/max-wait policy in exact virtual time, latency
+// percentile math, and the QueryServer end to end — including serving knn
+// through the hybrid executor against the sequential oracle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "apps/knn.hpp"
+#include "lockstep/lockstep_knn.hpp"
+#include "runtime/forkjoin.hpp"
+#include "serve/batcher.hpp"
+#include "serve/latency.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/pool_runner.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "spatial/kdtree.hpp"
+
+namespace {
+
+using tb::serve::AdmissionBatcher;
+using tb::serve::Batch;
+using tb::serve::BatchPolicy;
+using tb::serve::MpmcQueue;
+using tb::serve::QueryServer;
+using tb::serve::ServerOptions;
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcQueue<int>(1).capacity(), 8u);
+  EXPECT_EQ(MpmcQueue<int>(8).capacity(), 8u);
+  EXPECT_EQ(MpmcQueue<int>(9).capacity(), 16u);
+  EXPECT_EQ(MpmcQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpmcQueue, FifoSingleThreaded) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, FullAndEmptyAreDetected) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  EXPECT_EQ(q.size_approx(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_pop().has_value());
+  EXPECT_FALSE(q.try_pop().has_value());  // empty
+  EXPECT_EQ(q.size_approx(), 0u);
+}
+
+TEST(MpmcQueue, WrapsAroundManyGenerations) {
+  MpmcQueue<int> q(8);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.try_push(round * 6 + i));
+    for (int i = 0; i < 6; ++i) {
+      auto v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, round * 6 + i);
+    }
+  }
+}
+
+// ---- AdmissionBatcher: pure virtual-time policy ---------------------------------
+
+TEST(Batcher, SizeTriggerDispatchesExactlyMaxBatch) {
+  AdmissionBatcher b({/*max_batch=*/4, /*max_wait_ns=*/1'000'000});
+  for (std::int32_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(b.ready(/*now=*/i));  // not ready before the 4th arrival
+    b.push(i, /*arrival=*/i);
+  }
+  EXPECT_TRUE(b.ready(/*now=*/3));  // full batch, no wait needed
+  Batch out;
+  ASSERT_TRUE(b.pop_ready(/*now=*/3, out));
+  EXPECT_EQ(out.ids, (std::vector<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(out.arrival_ns, (std::vector<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(Batcher, DeadlineTriggerFiresExactlyAtOldestPlusMaxWait) {
+  AdmissionBatcher b({/*max_batch=*/4, /*max_wait_ns=*/1000});
+  b.push(7, /*arrival=*/100);
+  b.push(8, /*arrival=*/500);
+  EXPECT_EQ(b.next_deadline_ns(), 1100);  // oldest arrival + max_wait
+  EXPECT_FALSE(b.ready(1099));
+  EXPECT_TRUE(b.ready(1100));  // boundary is inclusive
+  Batch out;
+  ASSERT_TRUE(b.pop_ready(1100, out));
+  EXPECT_EQ(out.ids, (std::vector<std::int32_t>{7, 8}));
+}
+
+TEST(Batcher, ZeroMaxWaitServesImmediately) {
+  AdmissionBatcher b({/*max_batch=*/64, /*max_wait_ns=*/0});
+  b.push(1, 10);
+  EXPECT_TRUE(b.ready(10));  // ready the instant it arrives
+  Batch out;
+  ASSERT_TRUE(b.pop_ready(10, out));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Batcher, RemainderKeepsItsOwnDeadline) {
+  AdmissionBatcher b({/*max_batch=*/4, /*max_wait_ns=*/1000});
+  for (std::int32_t i = 0; i < 7; ++i) b.push(i, /*arrival=*/100 + i);
+  Batch out;
+  ASSERT_TRUE(b.pop_ready(/*now=*/106, out));  // size trigger: first 4
+  EXPECT_EQ(out.ids, (std::vector<std::int32_t>{0, 1, 2, 3}));
+  out.clear();
+  // Three left — below max_batch, so they wait for the 5th arrival's
+  // deadline (arrival 104 + 1000).
+  EXPECT_EQ(b.pending(), 3u);
+  EXPECT_EQ(b.next_deadline_ns(), 1104);
+  EXPECT_FALSE(b.pop_ready(1103, out));
+  ASSERT_TRUE(b.pop_ready(1104, out));
+  EXPECT_EQ(out.ids, (std::vector<std::int32_t>{4, 5, 6}));
+}
+
+TEST(Batcher, NextDeadlineSentinelWhenEmpty) {
+  AdmissionBatcher b({4, 1000});
+  EXPECT_EQ(b.next_deadline_ns(), tb::serve::kNoDeadline);
+  b.push(0, 50);
+  EXPECT_EQ(b.next_deadline_ns(), 1050);
+  Batch out;
+  ASSERT_TRUE(b.flush(out));
+  EXPECT_EQ(b.next_deadline_ns(), tb::serve::kNoDeadline);
+}
+
+TEST(Batcher, FlushDrainsWithoutDeadline) {
+  AdmissionBatcher b({/*max_batch=*/4, /*max_wait_ns=*/1'000'000'000});
+  for (std::int32_t i = 0; i < 6; ++i) b.push(i, i);
+  Batch out;
+  EXPECT_TRUE(b.flush(out));  // 4 (max_batch)
+  EXPECT_EQ(out.size(), 4u);
+  out.clear();
+  EXPECT_TRUE(b.flush(out));  // remaining 2
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  EXPECT_FALSE(b.flush(out));
+}
+
+// ---- latency percentiles --------------------------------------------------------
+
+TEST(Latency, NearestRankPercentiles) {
+  std::vector<double> samples;
+  for (int i = 1000; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const auto s = tb::serve::summarize_latencies(samples);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.p50, 500.0);   // rank ceil(0.5*1000)=500
+  EXPECT_DOUBLE_EQ(s.p99, 990.0);   // rank 990
+  EXPECT_DOUBLE_EQ(s.p999, 999.0);  // rank 999
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean, 500.5);
+}
+
+TEST(Latency, EmptyAndSingleton) {
+  std::vector<double> none;
+  EXPECT_EQ(tb::serve::summarize_latencies(none).count, 0u);
+  std::vector<double> one{3.5};
+  const auto s = tb::serve::summarize_latencies(one);
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p999, 3.5);
+}
+
+// ---- QueryServer end to end ------------------------------------------------------
+
+// A runner that records every id it sees (admission thread only — the
+// mutex guards against nothing yet documents the contract for readers).
+struct CountingRunner {
+  std::mutex mu;
+  std::vector<std::int32_t> seen;
+  std::vector<std::size_t> batch_sizes;
+
+  QueryServer::BatchRunner runner() {
+    return [this](const std::int32_t* ids, std::size_t count) {
+      const std::lock_guard<std::mutex> lock(mu);
+      seen.insert(seen.end(), ids, ids + count);
+      batch_sizes.push_back(count);
+    };
+  }
+};
+
+TEST(QueryServer, ServesEveryQueryExactlyOnce) {
+  CountingRunner cr;
+  ServerOptions opt;
+  opt.policy = {/*max_batch=*/8, /*max_wait_ns=*/100'000};
+  QueryServer server(opt, cr.runner());
+  server.start();
+  constexpr std::int32_t kN = 500;
+  for (std::int32_t i = 0; i < kN; ++i) server.submit(i, tb::serve::now_ns());
+  server.stop();
+
+  EXPECT_EQ(server.completed(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(server.latencies_s().size(), static_cast<std::size_t>(kN));
+  std::vector<int> times(kN, 0);
+  for (const std::int32_t id : cr.seen) times[static_cast<std::size_t>(id)]++;
+  for (std::int32_t i = 0; i < kN; ++i) EXPECT_EQ(times[static_cast<std::size_t>(i)], 1);
+  for (const std::size_t s : cr.batch_sizes) EXPECT_LE(s, 8u);
+  EXPECT_EQ(server.batches_dispatched(), cr.batch_sizes.size());
+  EXPECT_GE(server.max_batch_seen(), 1u);
+}
+
+TEST(QueryServer, StopDrainsPendingPartialBatch) {
+  CountingRunner cr;
+  ServerOptions opt;
+  // Huge max_wait: without the shutdown flush these would never dispatch.
+  opt.policy = {/*max_batch=*/64, /*max_wait_ns=*/std::int64_t{3600} * 1'000'000'000};
+  QueryServer server(opt, cr.runner());
+  server.start();
+  for (std::int32_t i = 0; i < 10; ++i) server.submit(i, tb::serve::now_ns());
+  server.stop();
+  EXPECT_EQ(server.completed(), 10u);
+}
+
+TEST(QueryServer, LoadGeneratorOffersAllQueries) {
+  CountingRunner cr;
+  ServerOptions opt;
+  opt.policy = {/*max_batch=*/16, /*max_wait_ns=*/200'000};
+  QueryServer server(opt, cr.runner());
+  server.start();
+  tb::serve::LoadGenOptions lg;
+  lg.rate_qps = 50000.0;  // brief open-loop burst
+  lg.total = 300;
+  lg.id_space = 100;
+  tb::serve::generate_load(server, lg);
+  server.stop();
+  EXPECT_EQ(server.completed(), 300u);
+  const auto s = tb::serve::summarize_latencies(server.latencies_s());
+  EXPECT_EQ(s.count, 300u);
+  EXPECT_GT(s.p50, 0.0);
+  EXPECT_GE(s.p999, s.p50);
+}
+
+// Serving knn through the hybrid executor must reproduce the sequential
+// oracle exactly: round-robin load serves each query id exactly once, so
+// the per-query k-best lists match knn_sequential's bit for bit.
+TEST(QueryServer, KnnServeMatchesSequentialOracle) {
+  constexpr std::size_t kPoints = 600;
+  constexpr int kK = 4;
+  const auto points = tb::spatial::Bodies::uniform_cube(kPoints);
+  const auto tree = tb::spatial::KdTree::build(points, 16);
+
+  tb::apps::KnnState oracle(kPoints, kK);
+  {
+    tb::apps::KnnProgram prog{&points, &tree, &oracle};
+    tb::apps::knn_sequential(prog);
+  }
+
+  tb::apps::KnnState served(kPoints, kK);
+  tb::apps::KnnProgram prog{&points, &tree, &served};
+  tb::rt::ForkJoinPool pool(2);
+  tb::rt::HybridOptions hopt;
+  hopt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+  using Engine = tb::lockstep::BlockedTraversal<tb::apps::KnnProgram::simd_width>;
+  auto runner = tb::serve::make_pool_runner<Engine>(
+      pool, hopt,
+      [&prog, &tree](const std::int32_t* ids, std::size_t count, Engine& engine) {
+        tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
+      });
+
+  ServerOptions opt;
+  opt.policy = {/*max_batch=*/32, /*max_wait_ns=*/200'000};
+  QueryServer server(opt, std::move(runner));
+  server.start();
+  tb::serve::LoadGenOptions lg;
+  lg.rate_qps = 0.0;  // closed loop
+  lg.total = kPoints;
+  lg.id_space = static_cast<std::int32_t>(kPoints);
+  lg.round_robin = true;  // each id exactly once — duplicates would corrupt k-best
+  tb::serve::generate_load(server, lg);
+  server.stop();
+
+  EXPECT_EQ(server.completed(), kPoints);
+  for (std::int32_t q = 0; q < static_cast<std::int32_t>(kPoints); ++q) {
+    const auto want = oracle.distances(q);
+    const auto got = served.distances(q);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_FLOAT_EQ(want[j], got[j]) << "query " << q << " neighbor " << j;
+    }
+  }
+}
+
+}  // namespace
