@@ -18,37 +18,61 @@
 //              because dense blocks amortize re-expansion exactly as the
 //              offline path does.
 //
-// Each (kernel, load, batch) run serves every query id exactly once
-// (round-robin over the dataset), so knn's k-best digest is comparable
-// against the sequential oracle — serving a query twice would corrupt its
-// neighbor list with duplicate inserts.
+// Multi-kernel/adaptive/deadline rungs over the same front end:
+//
+//   load=multi     one QueryServer multiplexing knn + pointcorr +
+//                  minmaxdist lanes over one pool (closed loop, one
+//                  producer thread per kernel); per-kernel records, all
+//                  three digests checked against the sequential oracles.
+//   load=adaptive  open-loop knn with the rate-derived batch policy
+//                  (serve/policy.hpp) at 1x and 4x the base rate; records
+//                  the converged max batch ("batch_max", unit "tasks" —
+//                  informational, ungated).
+//   load=deadline  open-loop knn with per-query deadlines (tight = 2x
+//                  max-wait, loose = 100x); JSON carries only the shed
+//                  fraction ("shed_rate", unit "shed" — lower-is-better,
+//                  deliberately ungated: shed queries depend on host
+//                  stalls, so gating them would flake).  No digest — a
+//                  shed query's k-best list is legitimately unserved.
+//
+// Each digest-checked run serves every query id exactly once (round-robin
+// over the dataset), so knn's k-best digest is comparable against the
+// sequential oracle — serving a query twice would corrupt its neighbor
+// list with duplicate inserts.
 //
 // JSON records (bench-results v1): policy = metric ("p50"/"p99"/"p999" in
 // unit "seconds", "qps" in unit "qps" — higher-is-better), variant =
-// "load=<low|sat>/batch=<B>", layer = "serve".  Latency percentiles carry
-// tail noise; the nightly gate uses a wider threshold for them than for
-// throughput (see .github/workflows/nightly-bench.yml).
+// "load=<mode>/...", layer = "serve".  Latency percentiles carry tail
+// noise; the nightly gate uses a wider threshold for them than for
+// throughput, and selects only qps/seconds so the shed/tasks records ride
+// ungated (see .github/workflows/nightly-bench.yml).
 //
 // Output: CSV `benchmark,load,batch,p50_us,p99_us,p999_us,qps`.
-// Flags: --scale=test|default|paper, --workers=4, --benchmarks=knn,pointcorr,
+// Flags: --scale=test|default|paper, --workers=4,
+//        --benchmarks=knn,pointcorr,multi,adaptive,deadline,
 //        --max-wait-us=1000, --format=json, --out=
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "apps/knn.hpp"
+#include "apps/minmaxdist.hpp"
 #include "apps/pointcorr.hpp"
 #include "bench/support/report.hpp"
 #include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_minmax.hpp"
 #include "lockstep/lockstep_pointcorr.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/hybrid.hpp"
 #include "serve/latency.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/policy.hpp"
 #include "serve/pool_runner.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "spatial/kdtree.hpp"
 
@@ -140,7 +164,8 @@ int main(int argc, char** argv) {
   tbench::Reporter rep("serve_latency", flags);
   const ScaleConfig cfg = scale_config(rep.scale());
   const int workers = static_cast<int>(flags.get_int("workers", 4));
-  const std::string filter = flags.get("benchmarks", "knn,pointcorr");
+  const std::string filter =
+      flags.get("benchmarks", "knn,pointcorr,multi,adaptive,deadline");
   const std::int64_t max_wait_ns = flags.get_int("max-wait-us", 1000) * 1000;
 
   tb::rt::ForkJoinPool pool(workers);
@@ -234,6 +259,237 @@ int main(int argc, char** argv) {
         record(rep, "pointcorr", variant_name(load, batch), workers, r);
         print_row("pointcorr", load, batch, r);
       }
+    }
+  }
+
+  // ---- load=multi: one server, three kernel lanes ---------------------------
+  if (tbench::selected(filter, "multi")) {
+    const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
+    const auto tree = tb::spatial::KdTree::build(points, 16);
+    const auto n = static_cast<std::int32_t>(points.size());
+    using MmEngine =
+        tb::lockstep::BlockedTraversal<tb::apps::MinmaxDistProgram::simd_width>;
+
+    // Sequential oracles for all three lanes.
+    std::string knn_oracle;
+    {
+      tb::apps::KnnState state(points.size(), cfg.k);
+      tb::apps::KnnProgram prog{&points, &tree, &state};
+      tb::apps::knn_sequential(prog);
+      knn_oracle = knn_digest(state, points.size());
+    }
+    tb::apps::PointCorrProgram pc_oracle_prog{&points, &tree, cfg.rad2};
+    const std::uint64_t pc_oracle = tb::apps::pointcorr_sequential(pc_oracle_prog);
+    std::string mm_oracle;
+    {
+      tb::apps::MinmaxDistState state(points.size());
+      tb::apps::MinmaxDistProgram prog{&points, &tree, &state};
+      tb::apps::minmaxdist_sequential(prog);
+      mm_oracle = tb::apps::minmaxdist_digest(state);
+    }
+
+    for (const std::size_t batch : cfg.batches) {
+      tb::apps::KnnState knn_state(points.size(), cfg.k);
+      tb::apps::KnnProgram knn_prog{&points, &tree, &knn_state};
+      tb::apps::PointCorrProgram pc_prog{&points, &tree, cfg.rad2};
+      tb::apps::MinmaxDistState mm_state(points.size());
+      tb::apps::MinmaxDistProgram mm_prog{&points, &tree, &mm_state};
+      std::vector<tb::rt::Padded<std::uint64_t>> pc_parts(
+          static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
+
+      tb::serve::ServerOptions sopt;
+      tb::serve::QueryServer server(sopt);
+      tb::serve::KernelOptions kopt;
+      kopt.policy = {batch, batch == 1 ? 0 : max_wait_ns};
+      tb::rt::HybridOptions kopt_hy = opt;
+      kopt_hy.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+      const int k_knn = server.register_kernel(
+          "knn", kopt,
+          tb::serve::make_pool_runner<KnnEngine>(
+              pool, kopt_hy,
+              [&knn_prog, &tree](const std::int32_t* ids, std::size_t count,
+                                 KnnEngine& engine) {
+                tb::lockstep::blocked_knn_frame(knn_prog, tree.root, ids, count, engine);
+              }));
+      kopt_hy.t_reexp = 4 * static_cast<std::size_t>(tb::apps::PointCorrProgram::simd_width);
+      const int k_pc = server.register_kernel(
+          "pointcorr", kopt,
+          tb::serve::make_pool_runner<PcEngine>(
+              pool, kopt_hy,
+              [&pc_prog, &tree, &pc_parts](const std::int32_t* ids, std::size_t count,
+                                           PcEngine& engine) {
+                const auto slot =
+                    static_cast<std::size_t>(tb::rt::ForkJoinPool::worker_id());
+                pc_parts[slot].value += tb::lockstep::blocked_pointcorr_frame(
+                    pc_prog, tree.root, ids, count, engine);
+              }));
+      kopt_hy.t_reexp =
+          4 * static_cast<std::size_t>(tb::apps::MinmaxDistProgram::simd_width);
+      const int k_mm = server.register_kernel(
+          "minmaxdist", kopt,
+          tb::serve::make_pool_runner<MmEngine>(
+              pool, kopt_hy,
+              [&mm_prog, &tree](const std::int32_t* ids, std::size_t count,
+                                MmEngine& engine) {
+                tb::lockstep::blocked_minmaxdist_frame(mm_prog, tree.root, ids, count,
+                                                       engine);
+              }));
+
+      server.start();
+      // One closed-loop producer per kernel so the admission thread always
+      // sees a mixed stream — the EDF arbitration path, not three serial
+      // single-lane phases.
+      std::vector<std::thread> producers;
+      for (const int k : {k_knn, k_pc, k_mm}) {
+        producers.emplace_back([&server, k, n] {
+          tb::serve::LoadGenOptions lg;
+          lg.rate_qps = 0.0;
+          lg.total = static_cast<std::size_t>(n);
+          lg.id_space = n;
+          lg.round_robin = true;
+          lg.kernel = k;
+          tb::serve::generate_load(server, lg);
+        });
+      }
+      for (auto& t : producers) t.join();
+      server.stop();
+
+      std::uint64_t pc_total = 0;
+      for (const auto& p : pc_parts) pc_total += p.value;
+      const struct {
+        const char* bench;
+        int k;
+        std::string digest;
+        std::string oracle;
+      } lanes[] = {
+          {"knn", k_knn, knn_digest(knn_state, points.size()), knn_oracle},
+          {"pointcorr", k_pc, std::to_string(pc_total), std::to_string(pc_oracle)},
+          {"minmaxdist", k_mm, tb::apps::minmaxdist_digest(mm_state), mm_oracle},
+      };
+      for (const auto& lane : lanes) {
+        if (lane.digest != lane.oracle) {
+          std::fprintf(stderr, "error: %s multi-kernel serve digest mismatch (%s)\n",
+                       lane.bench, variant_name("multi", batch).c_str());
+          return 1;
+        }
+        RunResult r;
+        r.lat = tb::serve::summarize_latencies(server.latencies_s(lane.k));
+        const double busy = server.busy_seconds(lane.k);
+        r.qps = busy > 0 ? static_cast<double>(server.completed(lane.k)) / busy : 0.0;
+        r.digest = lane.digest;
+        record(rep, lane.bench, variant_name("multi", batch), workers, r);
+        print_row(lane.bench, "multi", batch, r);
+      }
+    }
+  }
+
+  // ---- load=adaptive: rate-derived batch policy -----------------------------
+  if (tbench::selected(filter, "adaptive")) {
+    const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
+    const auto tree = tb::spatial::KdTree::build(points, 16);
+    const auto n = static_cast<std::int32_t>(points.size());
+    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+    std::string oracle;
+    {
+      tb::apps::KnnState state(points.size(), cfg.k);
+      tb::apps::KnnProgram prog{&points, &tree, &state};
+      tb::apps::knn_sequential(prog);
+      oracle = knn_digest(state, points.size());
+    }
+    const std::pair<const char*, double> rates[] = {{"rate=1x", cfg.low_rate_qps},
+                                                    {"rate=4x", 4 * cfg.low_rate_qps}};
+    for (const auto& [tag, rate] : rates) {
+      tb::apps::KnnState state(points.size(), cfg.k);
+      tb::apps::KnnProgram prog{&points, &tree, &state};
+      tb::serve::QueryServer server(tb::serve::ServerOptions{});
+      tb::serve::KernelOptions kopt;
+      kopt.adaptive.enabled = true;
+      kopt.adaptive.target_window_ns = max_wait_ns;
+      server.register_kernel(
+          "knn", kopt,
+          tb::serve::make_pool_runner<KnnEngine>(
+              pool, opt,
+              [&prog, &tree](const std::int32_t* ids, std::size_t count,
+                             KnnEngine& engine) {
+                tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
+              }));
+      server.start();
+      tb::serve::LoadGenOptions lg;
+      lg.rate_qps = rate;
+      lg.total = static_cast<std::size_t>(n);
+      lg.id_space = n;
+      lg.round_robin = true;
+      tb::serve::generate_load(server, lg);
+      server.stop();
+
+      RunResult r;
+      r.lat = tb::serve::summarize_latencies(server.latencies_s());
+      const double busy = server.busy_seconds();
+      r.qps = busy > 0 ? static_cast<double>(server.completed()) / busy : 0.0;
+      r.digest = knn_digest(state, points.size());
+      if (r.digest != oracle) {
+        std::fprintf(stderr, "error: knn adaptive serve digest mismatch (%s)\n", tag);
+        return 1;
+      }
+      const std::string variant = std::string("load=adaptive/") + tag;
+      record(rep, "knn", variant, workers, r);
+      {
+        // Converged batch ceiling — what the EWMA controller settled on.
+        auto proto = rep.make("knn", variant, "batch_max", "serve", workers);
+        proto.digest = r.digest;
+        rep.add_metric(std::move(proto), "tasks",
+                       static_cast<double>(server.max_batch_seen()));
+      }
+      print_row("knn", "adaptive", server.max_batch_seen(), r);
+    }
+  }
+
+  // ---- load=deadline: shed-on-admission -------------------------------------
+  if (tbench::selected(filter, "deadline")) {
+    const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
+    const auto tree = tb::spatial::KdTree::build(points, 16);
+    const auto n = static_cast<std::int32_t>(points.size());
+    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+    tb::apps::KnnState state(points.size(), cfg.k);  // no digest: sheds are legal
+    tb::apps::KnnProgram prog{&points, &tree, &state};
+    const std::pair<const char*, std::int64_t> budgets[] = {
+        {"rel=tight", 2 * max_wait_ns}, {"rel=loose", 100 * max_wait_ns}};
+    for (const auto& [tag, budget_ns] : budgets) {
+      tb::serve::ServerOptions sopt;
+      sopt.policy = {/*max_batch=*/64, max_wait_ns};
+      tb::serve::QueryServer server(
+          sopt, tb::serve::make_pool_runner<KnnEngine>(
+                    pool, opt,
+                    [&prog, &tree](const std::int32_t* ids, std::size_t count,
+                                   KnnEngine& engine) {
+                      tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
+                    }));
+      server.start();
+      tb::serve::LoadGenOptions lg;
+      lg.rate_qps = cfg.low_rate_qps;
+      lg.total = static_cast<std::size_t>(n);
+      lg.id_space = n;
+      lg.deadline_rel_ns = budget_ns;
+      const std::size_t offered = tb::serve::generate_load(server, lg);
+      server.stop();
+
+      RunResult r;
+      r.lat = tb::serve::summarize_latencies(server.latencies_s());
+      const double busy = server.busy_seconds();
+      r.qps = busy > 0 ? static_cast<double>(server.completed()) / busy : 0.0;
+      const double shed_rate =
+          offered > 0 ? static_cast<double>(server.shed()) / static_cast<double>(offered)
+                      : 0.0;
+      // JSON carries only the shed fraction: latency/qps of a shedding run
+      // are conditioned on which queries survived, so gating them would
+      // compare different populations across hosts.
+      auto proto =
+          rep.make("knn", std::string("load=deadline/") + tag, "shed_rate", "serve",
+                   workers);
+      rep.add_metric(std::move(proto), "shed", shed_rate);
+      std::printf("# knn deadline %s: offered %zu shed %zu (%.1f%%), served_late %zu\n",
+                  tag, offered, server.shed(), shed_rate * 100.0, server.served_late());
+      print_row("knn", "deadline", static_cast<std::size_t>(budget_ns / max_wait_ns), r);
     }
   }
 

@@ -1,17 +1,28 @@
-// Admission batching: max-batch / max-wait policy over arrival timestamps.
+// Admission batching: max-batch / max-wait / deadline policy over arrival
+// timestamps.
 //
 // The batcher is a pure state machine over std::int64_t nanoseconds — it
-// never reads a clock.  The admission thread feeds it (id, arrival_ns)
-// pairs drained from the MPMC queue and asks two questions: is a batch
-// ready *now*, and if not, when is the next deadline?  Because all time
-// flows in through parameters, the unit tests drive the policy in exact
-// virtual time and assert batch boundaries deterministically.
+// never reads a clock.  The admission thread feeds it (id, arrival_ns,
+// deadline_ns) tuples drained from the MPMC queue and asks two questions:
+// is a batch ready *now*, and if not, when is the next deadline?  Because
+// all time flows in through parameters, the unit tests drive the policy in
+// exact virtual time and assert batch boundaries deterministically.
 //
 // Policy: a batch dispatches when it reaches `max_batch` queries (dense
-// blocks amortize re-expansion exactly as the offline path does) or when
-// the OLDEST pending query has waited `max_wait_ns` (bounding the latency
-// cost of waiting for batch-mates).  max_wait_ns = 0 degenerates to
-// serve-immediately: every drain dispatches whatever has arrived.
+// blocks amortize re-expansion exactly as the offline path does), when the
+// OLDEST pending query has waited `max_wait_ns` (bounding the latency cost
+// of waiting for batch-mates), or when a pending query's completion
+// deadline is close enough that only an immediate dispatch can still meet
+// it.  max_wait_ns = 0 degenerates to serve-immediately: every drain
+// dispatches whatever has arrived.
+//
+// Deadlines: a query may carry an absolute `deadline_ns` (kNoDeadline =
+// none).  Admission sheds — rejects without buffering — any query whose
+// deadline cannot be met even by an immediate dispatch, using the current
+// per-batch service estimate (`set_service_estimate`, fed by the server's
+// measured dispatch times): serving a query that is already doomed only
+// steals capacity from queries that can still make it.  Admitted deadlines
+// pull `ready`/`next_deadline_ns` forward so the dispatcher wakes in time.
 #pragma once
 
 #include <algorithm>
@@ -28,43 +39,90 @@ struct BatchPolicy {
   std::int64_t max_wait_ns = 1'000'000;  // 1 ms
 };
 
-// One dispatchable batch: dense id block plus per-query arrival stamps
-// (parallel arrays) so the dispatcher can compute per-query latency.
+// One dispatchable batch: dense id block plus per-query arrival and
+// deadline stamps (parallel arrays) so the dispatcher can compute per-query
+// latency and count deadline misses.
 struct Batch {
   std::vector<std::int32_t> ids;
   std::vector<std::int64_t> arrival_ns;
+  std::vector<std::int64_t> deadline_ns;
 
   std::size_t size() const { return ids.size(); }
   void clear() {
     ids.clear();
     arrival_ns.clear();
+    deadline_ns.clear();
   }
 };
 
 class AdmissionBatcher {
 public:
-  explicit AdmissionBatcher(BatchPolicy policy) : policy_(policy) {
-    if (policy_.max_batch == 0) policy_.max_batch = 1;
-  }
+  // Consumed-prefix length at which the pending window is compacted to the
+  // front of the arrays (see take()).  Public so the memory-bound tests can
+  // assert buffered() against it.
+  static constexpr std::size_t kCompactThreshold = 1024;
+
+  explicit AdmissionBatcher(BatchPolicy policy) { set_policy(policy); }
 
   const BatchPolicy& policy() const { return policy_; }
 
-  // Admits one query.  Arrivals must be pushed oldest-first (the admission
-  // thread drains a FIFO queue, so this holds by construction).
+  // Policy is mutable between pushes so an adaptive controller
+  // (AdaptiveBatchPolicy) can re-derive it per arrival.
+  void set_policy(BatchPolicy policy) {
+    policy_ = policy;
+    if (policy_.max_batch == 0) policy_.max_batch = 1;
+  }
+
+  // Expected time to serve one batch, used for the shed horizon and the
+  // deadline-driven early dispatch.  0 (the default) means "dispatch is
+  // instantaneous": only already-expired deadlines shed.
+  void set_service_estimate(std::int64_t ns) {
+    service_est_ns_ = std::max<std::int64_t>(ns, 0);
+  }
+  std::int64_t service_estimate_ns() const { return service_est_ns_; }
+
+  // Admits one query with no deadline.  Arrivals must be pushed
+  // oldest-first (the admission thread drains a FIFO queue, so this holds
+  // by construction).
   void push(std::int32_t id, std::int64_t arrival_ns) {
+    (void)push(id, arrival_ns, kNoDeadline, arrival_ns);
+  }
+
+  // Deadline-aware admission at virtual time `now_ns`.  Returns false —
+  // and counts a shed — when the query cannot meet `deadline_ns` even if a
+  // batch dispatched immediately (now + service estimate past the
+  // deadline); the caller reports the rejection instead of burying it.
+  bool push(std::int32_t id, std::int64_t arrival_ns, std::int64_t deadline_ns,
+            std::int64_t now_ns) {
+    if (deadline_ns != kNoDeadline && now_ns + service_est_ns_ > deadline_ns) {
+      ++shed_;
+      return false;
+    }
     ids_.push_back(id);
     arrival_.push_back(arrival_ns);
+    deadline_.push_back(deadline_ns);
+    return true;
   }
 
   std::size_t pending() const { return ids_.size() - next_; }
+  // Total slots held (pending window plus not-yet-compacted consumed
+  // prefix) — the memory-bound observable: buffered() - pending() never
+  // exceeds max(kCompactThreshold, pending()).
+  std::size_t buffered() const { return ids_.size(); }
+  // Queries rejected at admission because their deadline was unmeetable.
+  std::size_t shed() const { return shed_; }
 
   // True when a batch should dispatch at virtual time `now_ns`: the size
-  // trigger fired, or the oldest pending query has waited max_wait_ns.
+  // trigger fired, the oldest pending query has waited max_wait_ns, or the
+  // tightest deadline in the dispatch window leaves exactly one service
+  // time of slack.
   bool ready(std::int64_t now_ns) const {
     const std::size_t n = pending();
     if (n == 0) return false;
     if (n >= policy_.max_batch) return true;
-    return now_ns - arrival_[next_] >= policy_.max_wait_ns;
+    if (now_ns - arrival_[next_] >= policy_.max_wait_ns) return true;
+    const std::int64_t d = window_deadline_ns();
+    return d != kNoDeadline && now_ns >= d - service_est_ns_;
   }
 
   // Moves up to max_batch oldest pending queries into `out` (appending).
@@ -87,33 +145,80 @@ public:
 
   // Virtual time at which ready() will flip true with no further arrivals:
   // kNoDeadline when empty, "now" (the oldest arrival itself — already
-  // ready) when the size trigger has fired, otherwise oldest + max_wait.
+  // ready) when the size trigger has fired, otherwise the earlier of
+  // oldest + max_wait and the tightest window deadline minus one service
+  // time.  The dispatcher parks until exactly this instant.
   std::int64_t next_deadline_ns() const {
     if (pending() == 0) return kNoDeadline;
     if (pending() >= policy_.max_batch) return arrival_[next_];
-    return arrival_[next_] + policy_.max_wait_ns;
+    std::int64_t t = arrival_[next_] + policy_.max_wait_ns;
+    const std::int64_t d = window_deadline_ns();
+    if (d != kNoDeadline) t = std::min(t, d - service_est_ns_);
+    return t;
+  }
+
+  // Earliest-deadline-first key for arbitration *across* kernels: the
+  // tightest effective deadline in this batcher's dispatch window, where a
+  // no-deadline query's effective deadline is its max-wait expiry.  Among
+  // several ready batchers the dispatcher serves the smallest urgency
+  // first, so an SLO-carrying batch is never stuck behind a best-effort
+  // one.  kNoDeadline when empty.
+  std::int64_t urgency_ns() const {
+    const std::size_t n = std::min(pending(), policy_.max_batch);
+    std::int64_t u = kNoDeadline;
+    for (std::size_t i = next_; i < next_ + n; ++i) {
+      const std::int64_t eff =
+          deadline_[i] != kNoDeadline ? deadline_[i] : arrival_[i] + policy_.max_wait_ns;
+      u = std::min(u, eff);
+    }
+    return u;
   }
 
 private:
+  // Tightest explicit deadline among the queries the next dispatch would
+  // take (the first max_batch pending); kNoDeadline when none carry one.
+  std::int64_t window_deadline_ns() const {
+    const std::size_t n = std::min(pending(), policy_.max_batch);
+    std::int64_t d = kNoDeadline;
+    for (std::size_t i = next_; i < next_ + n; ++i) d = std::min(d, deadline_[i]);
+    return d;
+  }
+
   void take(std::size_t n, Batch& out) {
-    out.ids.insert(out.ids.end(), ids_.begin() + static_cast<std::ptrdiff_t>(next_),
-                   ids_.begin() + static_cast<std::ptrdiff_t>(next_ + n));
-    out.arrival_ns.insert(out.arrival_ns.end(),
-                          arrival_.begin() + static_cast<std::ptrdiff_t>(next_),
-                          arrival_.begin() + static_cast<std::ptrdiff_t>(next_ + n));
+    const auto b = static_cast<std::ptrdiff_t>(next_);
+    const auto e = static_cast<std::ptrdiff_t>(next_ + n);
+    out.ids.insert(out.ids.end(), ids_.begin() + b, ids_.begin() + e);
+    out.arrival_ns.insert(out.arrival_ns.end(), arrival_.begin() + b, arrival_.begin() + e);
+    out.deadline_ns.insert(out.deadline_ns.end(), deadline_.begin() + b,
+                           deadline_.begin() + e);
     next_ += n;
     if (next_ == ids_.size()) {
       ids_.clear();
       arrival_.clear();
+      deadline_.clear();
+      next_ = 0;
+    } else if (next_ >= kCompactThreshold && next_ >= ids_.size() - next_) {
+      // A workload that always keeps >= 1 query pending never hits the
+      // fully-drained clear above, so the consumed prefix must be erased
+      // eagerly or the arrays grow without bound.  Compacting only once the
+      // prefix reaches kCompactThreshold AND at least the pending count
+      // keeps the erase amortized O(1) per consumed query.
+      const auto cut = static_cast<std::ptrdiff_t>(next_);
+      ids_.erase(ids_.begin(), ids_.begin() + cut);
+      arrival_.erase(arrival_.begin(), arrival_.begin() + cut);
+      deadline_.erase(deadline_.begin(), deadline_.begin() + cut);
       next_ = 0;
     }
   }
 
   BatchPolicy policy_;
+  std::int64_t service_est_ns_ = 0;
+  std::size_t shed_ = 0;
   // Pending queries live in [next_, ids_.size()) of these parallel arrays;
-  // the consumed prefix is compacted away whenever the backlog drains.
+  // the consumed prefix is compacted on full drain or at kCompactThreshold.
   std::vector<std::int32_t> ids_;
   std::vector<std::int64_t> arrival_;
+  std::vector<std::int64_t> deadline_;
   std::size_t next_ = 0;
 };
 

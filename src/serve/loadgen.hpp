@@ -1,5 +1,6 @@
 // Load generation for the serving bench: open-loop Poisson/uniform arrival
-// streams and a closed-loop saturation mode.
+// streams and a closed-loop saturation mode, targeting one kernel lane of a
+// (possibly multi-kernel) QueryServer.
 //
 // Open loop (rate_qps > 0): arrival times are SCHEDULED up front from the
 // inter-arrival process and each submit carries its scheduled stamp, so a
@@ -7,7 +8,9 @@
 // been issued while it stalled (no coordinated omission).  The generator
 // sleeps until each scheduled instant and then submits with a blocking
 // `submit` — if the bounded queue is full the backpressure shows up as
-// latency, never as silently dropped load.
+// latency, never as silently dropped load.  Deadlines (deadline_rel_ns > 0)
+// are likewise anchored to the *scheduled* arrival, so a stalled server
+// sheds exactly the queries whose budget the stall consumed.
 //
 // Closed loop (rate_qps == 0): submit as fast as the queue accepts,
 // stamping actual submit time.  Recorded latencies then mean "time in
@@ -37,11 +40,15 @@ struct LoadGenOptions {
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
   bool poisson = true;       // exponential inter-arrivals; false = fixed gaps
   bool round_robin = false;  // i % id_space instead of uniform draws
+  int kernel = 0;            // target kernel lane
+  // Per-query latency budget relative to the (scheduled) arrival; 0 = no
+  // deadline.  The admission layer sheds queries that cannot meet it.
+  std::int64_t deadline_rel_ns = 0;
 };
 
-// Runs the load in the calling thread; returns when all opt.total queries
-// have been accepted by the server.
-inline void generate_load(QueryServer& server, const LoadGenOptions& opt) {
+// Runs the load in the calling thread; returns the number of queries the
+// server accepted (== opt.total unless the server stopped mid-load).
+inline std::size_t generate_load(QueryServer& server, const LoadGenOptions& opt) {
   rt::Xoshiro256 rng(opt.seed);
   const auto next_id = [&](std::size_t i) {
     if (opt.round_robin) {
@@ -49,10 +56,18 @@ inline void generate_load(QueryServer& server, const LoadGenOptions& opt) {
     }
     return static_cast<std::int32_t>(rng.below(static_cast<std::uint32_t>(opt.id_space)));
   };
+  const auto deadline_of = [&](std::int64_t arrival_ns) {
+    return opt.deadline_rel_ns > 0 ? arrival_ns + opt.deadline_rel_ns : kNoDeadline;
+  };
 
+  std::size_t accepted = 0;
   if (opt.rate_qps <= 0.0) {
-    for (std::size_t i = 0; i < opt.total; ++i) server.submit(next_id(i), now_ns());
-    return;
+    for (std::size_t i = 0; i < opt.total; ++i) {
+      const std::int64_t t = now_ns();
+      if (!server.submit(opt.kernel, next_id(i), t, deadline_of(t))) break;
+      ++accepted;
+    }
+    return accepted;
   }
 
   const double gap_ns = 1e9 / opt.rate_qps;
@@ -66,8 +81,10 @@ inline void generate_load(QueryServer& server, const LoadGenOptions& opt) {
     }
     next += static_cast<std::int64_t>(gap);
     sleep_until_ns(next);
-    server.submit(id, next);
+    if (!server.submit(opt.kernel, id, next, deadline_of(next))) break;
+    ++accepted;
   }
+  return accepted;
 }
 
 }  // namespace tb::serve

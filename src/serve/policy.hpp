@@ -1,0 +1,105 @@
+// Adaptive batch sizing: derive the admission policy from the observed
+// arrival rate instead of a fixed max-batch/max-wait pair.
+//
+// DCAFE-style dynamic chunking (arXiv:1502.06086): the server is willing to
+// delay a query by at most `target_window_ns` to collect batch-mates, so
+// the *useful* batch size is however many arrivals one window is expected
+// to contain — window / mean inter-arrival gap.  A fixed max_batch wastes
+// the window at low rates (a batch of 256 never fills, every query eats the
+// full max-wait) and caps density at high rates; sizing from the rate keeps
+// the wait bound constant while the batch tracks the load.
+//
+// The estimator is an EWMA of inter-arrival gaps with a power-of-two weight
+// (new = old + (sample - old) >> ewma_shift), all in std::int64_t
+// nanoseconds: like AdmissionBatcher, this is a pure state machine — no
+// clock reads, no floating point — so unit tests drive it in exact virtual
+// time and assert the derived policy deterministically.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/batcher.hpp"
+
+namespace tb::serve {
+
+struct AdaptiveOptions {
+  bool enabled = false;
+  // Clamp for the derived max_batch.
+  std::size_t min_batch = 1;
+  std::size_t max_batch = 1024;
+  // The latency budget spent collecting batch-mates; becomes the derived
+  // policy's max_wait_ns verbatim.
+  std::int64_t target_window_ns = 1'000'000;  // 1 ms
+  // EWMA weight 1/2^ewma_shift (3 = 1/8: smooth enough to ride out Poisson
+  // jitter, fast enough to track a rate change within ~20 arrivals).
+  int ewma_shift = 3;
+};
+
+class AdaptiveBatchPolicy {
+public:
+  explicit AdaptiveBatchPolicy(AdaptiveOptions opt) : opt_(opt) {
+    if (opt_.min_batch == 0) opt_.min_batch = 1;
+    if (opt_.max_batch < opt_.min_batch) opt_.max_batch = opt_.min_batch;
+    if (opt_.ewma_shift < 0) opt_.ewma_shift = 0;
+    if (opt_.target_window_ns < 0) opt_.target_window_ns = 0;
+  }
+
+  const AdaptiveOptions& options() const { return opt_; }
+
+  // Feeds one arrival stamp.  Arrivals must be fed oldest-first (they come
+  // off the admission thread's FIFO drain, so this holds by construction);
+  // an out-of-order stamp clamps to a zero gap rather than going negative.
+  void observe_arrival(std::int64_t arrival_ns) {
+    if (!have_last_) {
+      last_arrival_ns_ = arrival_ns;
+      have_last_ = true;
+      return;
+    }
+    const std::int64_t gap = std::max<std::int64_t>(arrival_ns - last_arrival_ns_, 0);
+    last_arrival_ns_ = arrival_ns;
+    if (!have_gap_) {
+      ewma_gap_ns_ = gap;
+      have_gap_ = true;
+      return;
+    }
+    // Arithmetic shift (C++20) — rounds toward -inf, so the estimate can sit
+    // up to 2^shift ns above a step-change target; immaterial at ns scale.
+    ewma_gap_ns_ += (gap - ewma_gap_ns_) >> opt_.ewma_shift;
+  }
+
+  // Current inter-arrival estimate; meaningful once two arrivals were seen.
+  std::int64_t ewma_gap_ns() const { return ewma_gap_ns_; }
+  std::size_t arrivals_observed() const {
+    return !have_last_ ? 0u : (have_gap_ ? 2u : 1u);
+  }
+
+  // The derived admission policy: max_batch = clamp(window / gap) — the
+  // arrivals one target window is expected to contain — and max_wait =
+  // the window itself.  Before two arrivals there is no rate estimate, so
+  // the policy stays at min_batch (serve with minimal added latency rather
+  // than waiting for batch-mates that may never come).
+  BatchPolicy current() const {
+    BatchPolicy p;
+    p.max_wait_ns = opt_.target_window_ns;
+    if (!have_gap_) {
+      p.max_batch = opt_.min_batch;
+      return p;
+    }
+    const std::int64_t gap = std::max<std::int64_t>(ewma_gap_ns_, 1);
+    const std::int64_t want = opt_.target_window_ns / gap;
+    p.max_batch = std::clamp(static_cast<std::size_t>(std::max<std::int64_t>(want, 0)),
+                             opt_.min_batch, opt_.max_batch);
+    return p;
+  }
+
+private:
+  AdaptiveOptions opt_;
+  std::int64_t last_arrival_ns_ = 0;
+  std::int64_t ewma_gap_ns_ = 0;
+  bool have_last_ = false;
+  bool have_gap_ = false;
+};
+
+}  // namespace tb::serve

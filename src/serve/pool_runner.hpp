@@ -10,7 +10,10 @@
 // Engines persist across batches (per-slot block pools stay warm), which
 // is the point of a persistent serving pool: no per-request engine or
 // worker setup.  Ranges mapped to one slot never run concurrently
-// (hybrid_for's contract), so the per-slot engines need no locking.
+// (hybrid_for's contract), so the per-slot engines need no locking.  In a
+// multi-kernel server each registered kernel lane gets its own runner
+// (hence its own per-slot engines) over the SAME pool — batches serialize
+// on the admission thread, so two lanes never race on the pool's slots.
 #pragma once
 
 #include <cstddef>

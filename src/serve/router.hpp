@@ -1,0 +1,211 @@
+// Kernel registry and routing for the multi-kernel QueryServer.
+//
+// One server multiplexes several traversal kernels (knn, pointcorr,
+// minmaxdist, ...) over one request queue and one ForkJoinPool.  Each
+// registered kernel gets a *lane*: its own AdmissionBatcher (batch shape is
+// a per-kernel property — a cheap kernel wants bigger batches than an
+// expensive one), its own BatchRunner entering the hybrid executor through
+// the kernel's donated-frame entry point, an optional AdaptiveBatchPolicy
+// re-deriving the batcher's policy from that kernel's own arrival rate, and
+// its own telemetry.  Stage dependencies stay in the nested-dataflow style
+// of the single-kernel server: queue -> per-lane batcher -> dispatch; lanes
+// share only the admission thread and the pool.
+//
+// Dispatch arbitration is earliest-deadline-first: among lanes with a ready
+// batch, the router picks the one whose dispatch window holds the tightest
+// effective deadline (explicit query deadline, else max-wait expiry), so a
+// latency-SLO kernel is never starved behind a bulk kernel's full batches.
+//
+// Everything here is admission-thread-private after QueryServer::start();
+// registration happens before start, reads of telemetry after stop.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/clock.hpp"
+#include "serve/policy.hpp"
+
+namespace tb::serve {
+
+// Runs one dense batch of query ids synchronously; called only from the
+// admission thread.  Typically built with make_pool_runner (pool_runner.hpp).
+using BatchRunner = std::function<void(const std::int32_t* ids, std::size_t count)>;
+
+struct KernelOptions {
+  // Fixed admission policy; ignored (re-derived per arrival) when
+  // adaptive.enabled is set.
+  BatchPolicy policy{};
+  AdaptiveOptions adaptive{};
+  // Seed for the per-batch service-time estimate that drives the deadline
+  // shed horizon; refined by an EWMA of measured dispatch times once
+  // batches start completing.  0 = assume instantaneous until measured.
+  std::int64_t initial_service_estimate_ns = 0;
+  // EWMA weight 1/2^shift for the measured service estimate.
+  int service_ewma_shift = 2;
+};
+
+// Per-kernel serving lane: batcher + runner + adaptive controller +
+// telemetry.  Owned by the router; admission-thread-private after start().
+class KernelLane {
+public:
+  KernelLane(std::string name, const KernelOptions& opt, BatchRunner runner)
+      : name_(std::move(name)),
+        opt_(opt),
+        batcher_(opt.policy),
+        adaptive_(opt.adaptive),
+        runner_(std::move(runner)) {
+    batcher_.set_service_estimate(opt_.initial_service_estimate_ns);
+    service_est_ns_ = std::max<std::int64_t>(opt_.initial_service_estimate_ns, 0);
+    if (opt_.adaptive.enabled) batcher_.set_policy(adaptive_.current());
+  }
+
+  const std::string& name() const { return name_; }
+  AdmissionBatcher& batcher() { return batcher_; }
+  const AdmissionBatcher& batcher() const { return batcher_; }
+  const AdaptiveBatchPolicy& adaptive() const { return adaptive_; }
+  const BatchRunner& runner() const { return runner_; }
+
+  // Routes one drained request into this lane: refreshes the adaptive
+  // policy from the arrival stamp, then admits or sheds against the
+  // deadline.  Returns false when the query was shed.
+  bool admit(std::int32_t id, std::int64_t arrival_ns, std::int64_t deadline_ns,
+             std::int64_t now_ns) {
+    if (opt_.adaptive.enabled) {
+      adaptive_.observe_arrival(arrival_ns);
+      batcher_.set_policy(adaptive_.current());
+    }
+    return batcher_.push(id, arrival_ns, deadline_ns, now_ns);
+  }
+
+  // Books one dispatched batch: latency stamps, deadline misses, and the
+  // measured per-batch service time feeding the shed horizon's EWMA.
+  void record_dispatch(const Batch& batch, std::int64_t start_ns, std::int64_t done_ns) {
+    if (batches_ == 0) first_dispatch_ns_ = start_ns;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      latencies_s_.push_back(static_cast<double>(done_ns - batch.arrival_ns[i]) * 1e-9);
+      if (batch.deadline_ns[i] != kNoDeadline && done_ns > batch.deadline_ns[i]) {
+        ++served_late_;
+      }
+    }
+    completed_ += batch.size();
+    ++batches_;
+    max_batch_seen_ = std::max(max_batch_seen_, batch.size());
+    last_complete_ns_ = done_ns;
+    const std::int64_t measured = std::max<std::int64_t>(done_ns - start_ns, 0);
+    if (!have_service_est_) {
+      service_est_ns_ = measured;
+      have_service_est_ = true;
+    } else {
+      service_est_ns_ += (measured - service_est_ns_) >> opt_.service_ewma_shift;
+    }
+    batcher_.set_service_estimate(service_est_ns_);
+  }
+
+  // Books one request that was accepted but never served because the
+  // server stopped underneath it (stop-vs-submit race tail; see
+  // QueryServer::stop).
+  void count_unserved_at_stop() { ++unserved_at_stop_; }
+
+  // --- telemetry (valid after QueryServer::stop returns) ---
+  std::vector<double>& latencies_s() { return latencies_s_; }
+  std::size_t completed() const { return completed_; }
+  std::size_t shed() const { return batcher_.shed(); }
+  std::size_t served_late() const { return served_late_; }
+  std::size_t unserved_at_stop() const { return unserved_at_stop_; }
+  std::size_t batches_dispatched() const { return batches_; }
+  std::size_t max_batch_seen() const { return max_batch_seen_; }
+  std::int64_t first_dispatch_ns() const { return first_dispatch_ns_; }
+  std::int64_t last_complete_ns() const { return last_complete_ns_; }
+  double busy_seconds() const {
+    if (batches_ == 0) return 0.0;
+    return static_cast<double>(last_complete_ns_ - first_dispatch_ns_) * 1e-9;
+  }
+
+private:
+  std::string name_;
+  KernelOptions opt_;
+  AdmissionBatcher batcher_;
+  AdaptiveBatchPolicy adaptive_;
+  BatchRunner runner_;
+
+  std::int64_t service_est_ns_ = 0;
+  bool have_service_est_ = false;
+
+  std::vector<double> latencies_s_;
+  std::size_t completed_ = 0;
+  std::size_t served_late_ = 0;
+  std::size_t unserved_at_stop_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t max_batch_seen_ = 0;
+  std::int64_t first_dispatch_ns_ = 0;
+  std::int64_t last_complete_ns_ = 0;
+};
+
+// Dense kernel registry.  Lanes are heap-held so references stay stable
+// across registration.
+class KernelRouter {
+public:
+  int add(std::string name, const KernelOptions& opt, BatchRunner runner) {
+    lanes_.push_back(
+        std::make_unique<KernelLane>(std::move(name), opt, std::move(runner)));
+    return static_cast<int>(lanes_.size()) - 1;
+  }
+
+  std::size_t size() const { return lanes_.size(); }
+  KernelLane& lane(int k) { return *lanes_[static_cast<std::size_t>(k)]; }
+  const KernelLane& lane(int k) const { return *lanes_[static_cast<std::size_t>(k)]; }
+
+  // Index of the named kernel, -1 when absent (linear scan: a server hosts
+  // a handful of kernels, not thousands).
+  int find(std::string_view name) const {
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      if (lanes_[k]->name() == name) return static_cast<int>(k);
+    }
+    return -1;
+  }
+
+  // Earliest-deadline-first arbitration: the ready lane with the smallest
+  // urgency key, or -1 when no lane has a ready batch.  Ties go to the
+  // lower index, keeping the choice deterministic in virtual-time tests.
+  int pick_ready(std::int64_t now_ns) const {
+    int best = -1;
+    std::int64_t best_urgency = kNoDeadline;
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      const AdmissionBatcher& b = lanes_[k]->batcher();
+      if (!b.ready(now_ns)) continue;
+      const std::int64_t u = b.urgency_ns();
+      if (best == -1 || u < best_urgency) {
+        best = static_cast<int>(k);
+        best_urgency = u;
+      }
+    }
+    return best;
+  }
+
+  // Park horizon: the earliest instant any lane's batch becomes ready.
+  std::int64_t next_deadline_ns() const {
+    std::int64_t t = kNoDeadline;
+    for (const auto& lane : lanes_) t = std::min(t, lane->batcher().next_deadline_ns());
+    return t;
+  }
+
+  std::size_t total_pending() const {
+    std::size_t n = 0;
+    for (const auto& lane : lanes_) n += lane->batcher().pending();
+    return n;
+  }
+
+private:
+  std::vector<std::unique_ptr<KernelLane>> lanes_;
+};
+
+}  // namespace tb::serve

@@ -1,30 +1,42 @@
 // QueryServer: the in-process serving front end over the hybrid executor.
 //
-// Topology (one stage handoff, nested-dataflow style):
+// Topology (stage handoffs in the nested-dataflow style):
 //
-//   producers ──try_submit──▶ MpmcQueue ──drain──▶ AdmissionBatcher
-//                                │                        │ ready/deadline
-//                             doorbell              dense Batch
-//                                ▼                        ▼
-//                        admission thread ──────▶ BatchRunner (hybrid_for
-//                                                 over a ForkJoinPool)
+//   producers ──try_submit──▶ MpmcQueue ──route──▶ KernelRouter
+//                                │                    │ per-kernel lanes:
+//                             doorbell                │ AdmissionBatcher (+
+//                                ▼                    │ adaptive policy)
+//                        admission thread ──EDF──▶ lane BatchRunner
+//                                                  (hybrid_for over a
+//                                                   ForkJoinPool)
 //
-// A single admission thread owns the batcher and the dispatch loop: it
-// drains the MPMC queue, asks the batcher for ready batches, runs each
-// batch synchronously through the user-supplied BatchRunner, and stamps
-// per-query latency (completion − arrival) when the batch returns.
-// Batches therefore serialize on the admission thread — intra-batch
-// parallelism comes from the runner fanning each dense id block out over
-// the pool, which is exactly the paper's traversal shape (many queries,
-// one shared tree).
+// A single admission thread owns the router and the dispatch loop: it
+// drains the MPMC queue, routes each request to its kernel's lane (where
+// adaptive policy refresh and deadline-shed admission happen), picks the
+// ready batch with the earliest deadline across lanes, runs it
+// synchronously through that lane's BatchRunner, and stamps per-query
+// latency (completion − arrival) when the batch returns.  Batches
+// serialize on the admission thread — intra-batch parallelism comes from
+// the runner fanning each dense id block out over the pool, which is
+// exactly the paper's traversal shape (many queries, one shared tree).
 //
-// Parking mirrors the ForkJoinPool fix this layer depends on: when the
-// batcher has no deadline the admission thread sleeps on a condition
-// variable; producers ring a doorbell only when the thread advertised it
-// was napping (napping_ is a seq_cst flag mirroring the pool's sleepers_
-// counter), so the steady-state fast path costs producers one relaxed-ish
-// atomic load per submit.  When a deadline is pending, the thread sleeps
-// only until that deadline.
+// Parking mirrors the ForkJoinPool fix this layer depends on: when no lane
+// has a deadline the admission thread sleeps on a condition variable;
+// producers ring a doorbell only when the thread advertised it was napping
+// (napping_ is a seq_cst flag mirroring the pool's sleepers_ counter), so
+// the steady-state fast path costs producers one atomic load per submit.
+// When a deadline is pending, the thread sleeps only until the earliest
+// one across all lanes.
+//
+// Lifecycle contract (hardened):
+//   * stop() is idempotent, safe without start(), and safe to call from
+//     several threads at once;
+//   * every submit that returns true is accounted for exactly once in
+//     completed() + shed() + unserved_at_stop(), even when the submit
+//     races stop() — see the seq_cst re-check in try_submit;
+//   * after stop() returns, try_submit/submit return false immediately
+//     (nothing is silently enqueued into a dead queue, and blocking
+//     submit cannot hang on a full queue no one drains).
 //
 // Latency stamps use the ARRIVAL time supplied by the producer.  An
 // open-loop load generator passes the *scheduled* arrival time, which
@@ -38,57 +50,110 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/batcher.hpp"
 #include "serve/clock.hpp"
 #include "serve/queue.hpp"
+#include "serve/router.hpp"
 
 namespace tb::serve {
 
 struct ServerOptions {
   std::size_t queue_capacity = 4096;
+  // Policy for the implicit kernel registered by the single-runner
+  // constructor; multi-kernel callers set policy per kernel instead.
   BatchPolicy policy{};
 };
 
 class QueryServer {
 public:
-  // Runs one dense batch of query ids synchronously; called only from the
-  // admission thread.  Typically built with make_pool_runner (pool_runner.hpp).
-  using BatchRunner = std::function<void(const std::int32_t* ids, std::size_t count)>;
+  using BatchRunner = serve::BatchRunner;
 
-  QueryServer(const ServerOptions& opt, BatchRunner runner)
-      : queue_(opt.queue_capacity), batcher_(opt.policy), runner_(std::move(runner)) {}
+  // Multi-kernel form: register kernels, then start().
+  explicit QueryServer(const ServerOptions& opt) : queue_(opt.queue_capacity) {}
 
-  ~QueryServer() {
-    if (thread_.joinable()) stop();
+  // Single-kernel convenience: the runner becomes kernel 0 ("default")
+  // under opt.policy, and the kernel-less submit overloads target it.
+  QueryServer(const ServerOptions& opt, BatchRunner runner) : QueryServer(opt) {
+    KernelOptions kopt;
+    kopt.policy = opt.policy;
+    register_kernel("default", kopt, std::move(runner));
   }
+
+  ~QueryServer() { stop(); }
 
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  void start() { thread_ = std::thread([this] { loop(); }); }
+  // Registers a kernel lane; call before start().  Returns the kernel
+  // index used by submit().
+  int register_kernel(std::string name, const KernelOptions& kopt, BatchRunner runner) {
+    return router_.add(std::move(name), kopt, std::move(runner));
+  }
 
-  // Non-blocking submit; false when the request queue is full (caller's
-  // choice to drop, spin, or backpressure).  `arrival_ns` is the stamp
-  // latency is measured from — open-loop generators pass the scheduled
-  // arrival time, not now_ns().
-  bool try_submit(std::int32_t id, std::int64_t arrival_ns) {
-    if (!queue_.try_push(Request{id, arrival_ns})) return false;
-    doorbell();
+  std::size_t kernels() const { return router_.size(); }
+  const std::string& kernel_name(int k) const { return router_.lane(k).name(); }
+  int find_kernel(std::string_view name) const { return router_.find(name); }
+
+  void start() {
+    if (thread_.joinable()) return;  // already running
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  // Non-blocking submit; false when the request queue is full or the
+  // server is stopping (caller's choice to drop, spin, or backpressure).
+  // `arrival_ns` is the stamp latency is measured from — open-loop
+  // generators pass the scheduled arrival time, not now_ns().  A true
+  // return guarantees the query is eventually counted in exactly one of
+  // completed / shed / unserved_at_stop.
+  bool try_submit(int kernel, std::int32_t id, std::int64_t arrival_ns,
+                  std::int64_t deadline_ns = kNoDeadline) {
+    if (kernel < 0 || static_cast<std::size_t>(kernel) >= router_.size()) return false;
+    if (stopping_.load(std::memory_order_seq_cst)) return false;
+    if (!queue_.try_push(Request{kernel, id, arrival_ns, deadline_ns})) return false;
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      // Raced stop(): the admission thread may already be past its final
+      // drain.  If our pre-push stopping load saw false before stop()'s
+      // store, the post-join drain in stop() is still ahead of us and will
+      // account the request; the ambiguous case is exactly this one, so
+      // take the stop lock (waiting out a concurrent stop()) and run the
+      // same tail drain ourselves.  Either way the request ends up served
+      // or counted unserved — never stranded in a dead queue.
+      std::lock_guard<std::mutex> g(stop_mu_);
+      drain_unserved();
+    } else {
+      doorbell();
+    }
     return true;
+  }
+  bool try_submit(std::int32_t id, std::int64_t arrival_ns) {
+    return try_submit(0, id, arrival_ns);
   }
 
   // Blocking submit: yields until the queue accepts (closed-loop callers).
-  void submit(std::int32_t id, std::int64_t arrival_ns) {
-    while (!try_submit(id, arrival_ns)) std::this_thread::yield();
+  // Returns false — instead of spinning forever — once the server is
+  // stopping and the request was not accepted.
+  bool submit(int kernel, std::int32_t id, std::int64_t arrival_ns,
+              std::int64_t deadline_ns = kNoDeadline) {
+    if (kernel < 0 || static_cast<std::size_t>(kernel) >= router_.size()) return false;
+    while (!try_submit(kernel, id, arrival_ns, deadline_ns)) {
+      if (stopping_.load(std::memory_order_acquire)) return false;
+      std::this_thread::yield();
+    }
+    return true;
   }
+  bool submit(std::int32_t id, std::int64_t arrival_ns) { return submit(0, id, arrival_ns); }
 
-  // Drains everything already admitted (flushing partial batches), then
-  // joins the admission thread.  Telemetry accessors are valid after this.
+  // Drains everything already admitted (flushing partial batches), joins
+  // the admission thread, and accounts any stragglers that raced the stop
+  // flag.  Idempotent; safe without start(); safe concurrently (callers
+  // serialize on an internal mutex).  Telemetry accessors are valid after
+  // the first stop() returns.
   void stop() {
     stopping_.store(true, std::memory_order_seq_cst);
     {
@@ -96,44 +161,107 @@ public:
       bell_ = true;
     }
     cv_.notify_one();
-    thread_.join();
+    std::lock_guard<std::mutex> g(stop_mu_);
+    if (thread_.joinable()) thread_.join();
+    // Requests pushed after the admission thread's final emptiness check
+    // (or submitted before start() to a server that never started) would
+    // otherwise sit in the queue unserved and uncounted.
+    drain_unserved();
   }
+
+  bool stopped() const { return stopping_.load(std::memory_order_acquire); }
 
   // --- telemetry (admission-thread-private until stop() returns) ---
 
-  // Per-query latencies in seconds, dispatch-completion order.
-  std::vector<double>& latencies_s() { return latencies_s_; }
-  std::size_t completed() const { return completed_; }
-  std::size_t batches_dispatched() const { return batches_; }
-  std::size_t max_batch_seen() const { return max_batch_seen_; }
+  // Per-query latencies in seconds for one kernel, dispatch-completion
+  // order; the kernel-less overload merges all lanes into a scratch vector
+  // (rebuilt per call — summarize_latencies may sort it in place).
+  std::vector<double>& latencies_s(int k) { return router_.lane(k).latencies_s(); }
+  std::vector<double>& latencies_s() {
+    merged_latencies_.clear();
+    for (std::size_t k = 0; k < router_.size(); ++k) {
+      const auto& lane = router_.lane(static_cast<int>(k)).latencies_s();
+      merged_latencies_.insert(merged_latencies_.end(), lane.begin(), lane.end());
+    }
+    return merged_latencies_;
+  }
+
+  std::size_t completed(int k) const { return router_.lane(k).completed(); }
+  std::size_t completed() const { return sum(&KernelLane::completed); }
+  // Queries rejected at admission because their deadline was unmeetable.
+  std::size_t shed(int k) const { return router_.lane(k).shed(); }
+  std::size_t shed() const { return sum(&KernelLane::shed); }
+  // Queries served after their deadline had already passed.
+  std::size_t served_late(int k) const { return router_.lane(k).served_late(); }
+  std::size_t served_late() const { return sum(&KernelLane::served_late); }
+  // Accepted requests the stop()-tail drained instead of serving.
+  std::size_t unserved_at_stop(int k) const { return router_.lane(k).unserved_at_stop(); }
+  std::size_t unserved_at_stop() const { return sum(&KernelLane::unserved_at_stop); }
+  std::size_t batches_dispatched(int k) const {
+    return router_.lane(k).batches_dispatched();
+  }
+  std::size_t batches_dispatched() const { return sum(&KernelLane::batches_dispatched); }
+  std::size_t max_batch_seen(int k) const { return router_.lane(k).max_batch_seen(); }
+  std::size_t max_batch_seen() const {
+    std::size_t m = 0;
+    for (std::size_t k = 0; k < router_.size(); ++k) {
+      m = std::max(m, router_.lane(static_cast<int>(k)).max_batch_seen());
+    }
+    return m;
+  }
+
   // Wall-clock span from first dispatch to last completion — the
-  // throughput denominator for closed-loop (saturation) runs.
+  // throughput denominator for closed-loop (saturation) runs.  Per-kernel
+  // and across-lane (earliest first dispatch to latest completion) forms.
+  double busy_seconds(int k) const { return router_.lane(k).busy_seconds(); }
   double busy_seconds() const {
-    if (batches_ == 0) return 0.0;
-    return static_cast<double>(last_complete_ns_ - first_dispatch_ns_) * 1e-9;
+    std::int64_t first = 0, last = 0;
+    bool any = false;
+    for (std::size_t k = 0; k < router_.size(); ++k) {
+      const KernelLane& lane = router_.lane(static_cast<int>(k));
+      if (lane.batches_dispatched() == 0) continue;
+      if (!any || lane.first_dispatch_ns() < first) first = lane.first_dispatch_ns();
+      if (!any || lane.last_complete_ns() > last) last = lane.last_complete_ns();
+      any = true;
+    }
+    return any ? static_cast<double>(last - first) * 1e-9 : 0.0;
   }
 
 private:
   struct Request {
+    int kernel = 0;
     std::int32_t id = 0;
     std::int64_t arrival_ns = 0;
+    std::int64_t deadline_ns = kNoDeadline;
   };
 
-  void drain_queue() {
-    while (auto req = queue_.try_pop()) batcher_.push(req->id, req->arrival_ns);
+  std::size_t sum(std::size_t (KernelLane::*fn)() const) const {
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < router_.size(); ++k) {
+      n += (router_.lane(static_cast<int>(k)).*fn)();
+    }
+    return n;
   }
 
-  void dispatch(Batch& batch) {
-    if (batches_ == 0) first_dispatch_ns_ = now_ns();
-    runner_(batch.ids.data(), batch.size());
-    const std::int64_t done = now_ns();
-    for (const std::int64_t arrival : batch.arrival_ns) {
-      latencies_s_.push_back(static_cast<double>(done - arrival) * 1e-9);
+  void drain_queue() {
+    while (auto req = queue_.try_pop()) {
+      router_.lane(req->kernel).admit(req->id, req->arrival_ns, req->deadline_ns,
+                                      now_ns());
     }
-    completed_ += batch.size();
-    ++batches_;
-    max_batch_seen_ = std::max(max_batch_seen_, batch.size());
-    last_complete_ns_ = done;
+  }
+
+  // Stop-tail accounting: pops leftover requests into unserved counters.
+  // Called with stop_mu_ held, after (or instead of) the admission thread.
+  void drain_unserved() {
+    while (auto req = queue_.try_pop()) {
+      router_.lane(req->kernel).count_unserved_at_stop();
+    }
+  }
+
+  void dispatch(KernelLane& lane, Batch& batch) {
+    const std::int64_t start = now_ns();
+    lane.runner()(batch.ids.data(), batch.size());
+    lane.record_dispatch(batch, start, now_ns());
     batch.clear();
   }
 
@@ -141,23 +269,29 @@ private:
     Batch batch;
     for (;;) {
       drain_queue();
-      if (batcher_.pop_ready(now_ns(), batch)) {
-        dispatch(batch);
+      const int k = router_.pick_ready(now_ns());
+      if (k >= 0) {
+        KernelLane& lane = router_.lane(k);
+        lane.batcher().pop_ready(now_ns(), batch);
+        dispatch(lane, batch);
         continue;
       }
       if (stopping_.load(std::memory_order_acquire)) {
-        // Shutdown: dispatch the partial tail without waiting out max_wait,
-        // re-draining in case producers raced the stop flag.
+        // Shutdown: dispatch the partial tails without waiting out
+        // max_wait, re-draining in case producers raced the stop flag.
         drain_queue();
-        while (batcher_.flush(batch)) dispatch(batch);
-        if (queue_.size_approx() == 0 && batcher_.pending() == 0) break;
+        for (std::size_t i = 0; i < router_.size(); ++i) {
+          KernelLane& lane = router_.lane(static_cast<int>(i));
+          while (lane.batcher().flush(batch)) dispatch(lane, batch);
+        }
+        if (queue_.size_approx() == 0 && router_.total_pending() == 0) break;
         continue;
       }
       park();
     }
   }
 
-  // Sleeps until the batcher's next deadline, a doorbell, or stop.  The
+  // Sleeps until the earliest lane deadline, a doorbell, or stop.  The
   // napping_ flag is the Dekker handshake with doorbell(): we publish
   // napping_ (seq_cst) before the final queue emptiness check, producers
   // publish their push before loading napping_ — one side always sees the
@@ -170,7 +304,7 @@ private:
       if (bell_ || stopping_.load(std::memory_order_acquire)) return true;
       return queue_.size_approx() != 0;
     };
-    const std::int64_t deadline = batcher_.next_deadline_ns();
+    const std::int64_t deadline = router_.next_deadline_ns();
     if (deadline == kNoDeadline) {
       cv_.wait(lock, wake);
     } else {
@@ -195,22 +329,17 @@ private:
   }
 
   MpmcQueue<Request> queue_;
-  AdmissionBatcher batcher_;
-  BatchRunner runner_;
+  KernelRouter router_;
   std::thread thread_;
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::mutex stop_mu_;  // serializes stop() callers and the straggler drain
   bool bell_ = false;
   std::atomic<bool> napping_{false};
   std::atomic<bool> stopping_{false};
 
-  std::vector<double> latencies_s_;
-  std::size_t completed_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t max_batch_seen_ = 0;
-  std::int64_t first_dispatch_ns_ = 0;
-  std::int64_t last_complete_ns_ = 0;
+  std::vector<double> merged_latencies_;
 };
 
 }  // namespace tb::serve

@@ -1,10 +1,12 @@
 // Stress tests for the serving layer (label: stress — repeated under TSan
 // by the weekly soak): MPMC queue conservation under concurrent producers
-// and consumers, and the full QueryServer under multi-producer load with
-// batches executing on a real ForkJoinPool.
+// and consumers, the full QueryServer under multi-producer load with
+// batches executing on a real ForkJoinPool — single- and multi-kernel —
+// and the stop-vs-submit race's accounting invariant.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -12,10 +14,12 @@
 #include "runtime/forkjoin.hpp"
 #include "serve/clock.hpp"
 #include "serve/queue.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
+using tb::serve::KernelOptions;
 using tb::serve::MpmcQueue;
 using tb::serve::QueryServer;
 using tb::serve::ServerOptions;
@@ -118,6 +122,116 @@ TEST(ServeStress, MultiProducerServerConservation) {
   }
   EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
   EXPECT_EQ(server.latencies_s().size(), static_cast<std::size_t>(kTotal));
+}
+
+// Multi-kernel pipeline under concurrent producers: three lanes with
+// different batch shapes share one admission thread and one pool; every
+// (kernel, id) pair must be dispatched exactly once, on its own lane.
+TEST(ServeStress, MultiKernelPipelineConservation) {
+  constexpr int kKernels = 3;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 4000;
+  constexpr int kTotal = kProducers * kPerProducer;  // per kernel
+
+  tb::rt::ForkJoinPool pool(4);
+  // seen[kernel * kTotal + id]
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(kKernels) * kTotal);
+  for (auto& s : seen) s.store(0);
+
+  ServerOptions opt;
+  opt.queue_capacity = 512;  // small queue: exercises producer backpressure
+  QueryServer server(opt);
+  const std::size_t batch_caps[kKernels] = {128, 32, 1};
+  for (int k = 0; k < kKernels; ++k) {
+    KernelOptions kopt;
+    kopt.policy = {batch_caps[k], /*max_wait_ns=*/100'000};
+    server.register_kernel("lane" + std::to_string(k), kopt,
+                           [&, k](const std::int32_t* ids, std::size_t count) {
+                             pool.run([&] {
+                               tb::rt::WaitGroup wg;
+                               for (std::size_t i = 0; i < count; ++i) {
+                                 const std::int32_t id = ids[i];
+                                 pool.spawn_detached(
+                                     [&, id] {
+                                       seen[static_cast<std::size_t>(k) * kTotal +
+                                            static_cast<std::size_t>(id)]
+                                           .fetch_add(1);
+                                     },
+                                     wg);
+                               }
+                               pool.wait(wg);
+                             });
+                           });
+  }
+  server.start();
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::int32_t id = p * kPerProducer + i;
+        // Interleave kernels so every drain mixes lanes.
+        for (int k = 0; k < kKernels; ++k) server.submit(k, id, tb::serve::now_ns());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.stop();
+
+  for (int k = 0; k < kKernels; ++k) {
+    EXPECT_EQ(server.completed(k), static_cast<std::size_t>(kTotal)) << "kernel " << k;
+    EXPECT_EQ(server.latencies_s(k).size(), static_cast<std::size_t>(kTotal));
+  }
+  EXPECT_EQ(server.completed(), static_cast<std::size_t>(kKernels) * kTotal);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "(kernel,id) slot " << i;
+  }
+}
+
+// Stop-vs-submit race: producers hammer submit while another thread stops
+// the server mid-stream (and a second thread races a concurrent stop()).
+// The lifecycle contract says every submit that returned true is counted
+// exactly once in completed + shed + unserved_at_stop, and submits after
+// stop fail fast instead of hanging — regardless of where the stop flag
+// lands relative to each push.
+TEST(ServeStress, ConcurrentStopAccountsEveryAcceptedSubmit) {
+  constexpr int kRounds = 50;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+
+  for (int round = 0; round < kRounds; ++round) {
+    ServerOptions opt;
+    opt.queue_capacity = 256;
+    opt.policy = {/*max_batch=*/64, /*max_wait_ns=*/0};
+    QueryServer server(opt, [](const std::int32_t*, std::size_t) {});
+    server.start();
+
+    std::atomic<std::size_t> accepted{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::size_t mine = 0;
+        for (int i = 0; i < kPerProducer; ++i) {
+          if (server.try_submit(p * kPerProducer + i, tb::serve::now_ns())) ++mine;
+        }
+        accepted.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    std::thread stopper([&] { server.stop(); });
+    std::thread second_stopper([&] { server.stop(); });
+    for (auto& t : producers) t.join();
+    stopper.join();
+    second_stopper.join();
+    server.stop();  // and once more from the main thread: still idempotent
+
+    ASSERT_EQ(accepted.load(),
+              server.completed() + server.shed() + server.unserved_at_stop())
+        << "round " << round;
+    EXPECT_EQ(server.shed(), 0u);  // no deadlines in this stream
+    EXPECT_FALSE(server.try_submit(0, tb::serve::now_ns()));
+  }
 }
 
 }  // namespace

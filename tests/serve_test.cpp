@@ -1,7 +1,9 @@
 // Tests for the query-serving layer: MPMC queue semantics, the admission
-// batcher's max-batch/max-wait policy in exact virtual time, latency
-// percentile math, and the QueryServer end to end — including serving knn
-// through the hybrid executor against the sequential oracle.
+// batcher's max-batch/max-wait/deadline policy in exact virtual time, the
+// adaptive (rate-derived) batch policy, latency percentile math, server
+// lifecycle regressions (double-stop, stop-without-start, post-stop
+// submit, backlog memory bound), and the QueryServer end to end — single-
+// and multi-kernel — against the sequential oracles.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -10,21 +12,33 @@
 #include <vector>
 
 #include "apps/knn.hpp"
+#include "apps/minmaxdist.hpp"
+#include "apps/pointcorr.hpp"
 #include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_minmax.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "runtime/cacheline.hpp"
 #include "runtime/forkjoin.hpp"
 #include "serve/batcher.hpp"
 #include "serve/latency.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/policy.hpp"
 #include "serve/pool_runner.hpp"
 #include "serve/queue.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "spatial/kdtree.hpp"
 
 namespace {
 
+using tb::serve::AdaptiveBatchPolicy;
+using tb::serve::AdaptiveOptions;
 using tb::serve::AdmissionBatcher;
 using tb::serve::Batch;
 using tb::serve::BatchPolicy;
+using tb::serve::KernelOptions;
+using tb::serve::KernelRouter;
+using tb::serve::kNoDeadline;
 using tb::serve::MpmcQueue;
 using tb::serve::QueryServer;
 using tb::serve::ServerOptions;
@@ -143,6 +157,162 @@ TEST(Batcher, FlushDrainsWithoutDeadline) {
   EXPECT_EQ(out.size(), 2u);
   out.clear();
   EXPECT_FALSE(b.flush(out));
+}
+
+// Regression: any workload that always keeps >= 1 query pending never hits
+// the full-drain compaction, so before the threshold compaction the
+// consumed prefix of the batcher's arrays grew forever.
+TEST(Batcher, LongLivedBacklogStaysBounded) {
+  AdmissionBatcher b({/*max_batch=*/1, /*max_wait_ns=*/0});
+  b.push(0, 0);
+  Batch out;
+  for (std::int64_t i = 1; i <= 20000; ++i) {
+    b.push(static_cast<std::int32_t>(i), i);  // backlog never drains fully
+    out.clear();
+    ASSERT_TRUE(b.pop_ready(i, out));
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(b.pending(), 1u);
+  }
+  // 20k consumed with 1 always pending: without compaction buffered() would
+  // be 20001; with it the dead prefix is bounded by the threshold.
+  EXPECT_LE(b.buffered(), b.pending() + 2 * AdmissionBatcher::kCompactThreshold);
+}
+
+// ---- deadline-aware admission (exact virtual time) ------------------------------
+
+TEST(DeadlineAdmission, ShedsExpiredAndUnmeetableAtTheBoundary) {
+  AdmissionBatcher b({/*max_batch=*/8, /*max_wait_ns=*/1000});
+  b.set_service_estimate(100);
+  // Already expired: deadline behind the virtual clock.
+  EXPECT_FALSE(b.push(1, /*arrival=*/0, /*deadline=*/-1, /*now=*/0));
+  // Unmeetable: even an immediate dispatch lands at now + 100 > 99.
+  EXPECT_FALSE(b.push(2, 0, /*deadline=*/99, /*now=*/0));
+  EXPECT_EQ(b.shed(), 2u);
+  EXPECT_EQ(b.pending(), 0u);
+  // Exactly meetable boundary: now + 100 > 100 is false — admitted.
+  EXPECT_TRUE(b.push(3, 0, /*deadline=*/100, /*now=*/0));
+  EXPECT_EQ(b.pending(), 1u);
+  EXPECT_EQ(b.shed(), 2u);
+}
+
+TEST(DeadlineAdmission, NoDeadlineQueriesNeverShed) {
+  AdmissionBatcher b({/*max_batch=*/8, /*max_wait_ns=*/1000});
+  b.set_service_estimate(1'000'000'000);  // huge estimate must not matter
+  EXPECT_TRUE(b.push(1, 0, kNoDeadline, /*now=*/999'999'999));
+  EXPECT_EQ(b.shed(), 0u);
+}
+
+TEST(DeadlineAdmission, DeadlineForcesEarlyDispatch) {
+  AdmissionBatcher b({/*max_batch=*/8, /*max_wait_ns=*/1000});
+  b.set_service_estimate(100);
+  ASSERT_TRUE(b.push(7, /*arrival=*/0, /*deadline=*/500, /*now=*/0));
+  // max-wait alone would fire at 1000; the deadline pulls dispatch forward
+  // to 500 - 100 (last instant a dispatch can still complete in time).
+  EXPECT_EQ(b.next_deadline_ns(), 400);
+  EXPECT_FALSE(b.ready(399));
+  EXPECT_TRUE(b.ready(400));
+  Batch out;
+  ASSERT_TRUE(b.pop_ready(400, out));
+  EXPECT_EQ(out.ids, (std::vector<std::int32_t>{7}));
+  EXPECT_EQ(out.deadline_ns, (std::vector<std::int64_t>{500}));
+}
+
+TEST(DeadlineAdmission, UrgencyIsTightestEffectiveDeadlineInWindow) {
+  AdmissionBatcher b({/*max_batch=*/4, /*max_wait_ns=*/1000});
+  EXPECT_EQ(b.urgency_ns(), kNoDeadline);
+  ASSERT_TRUE(b.push(1, /*arrival=*/100, kNoDeadline, /*now=*/100));
+  EXPECT_EQ(b.urgency_ns(), 1100);  // no deadline -> max-wait expiry
+  ASSERT_TRUE(b.push(2, /*arrival=*/200, /*deadline=*/900, /*now=*/200));
+  EXPECT_EQ(b.urgency_ns(), 900);  // explicit deadline tightens the key
+}
+
+TEST(DeadlineAdmission, RouterPicksEarliestDeadlineAmongReadyLanes) {
+  KernelRouter router;
+  const auto noop = [](const std::int32_t*, std::size_t) {};
+  KernelOptions kopt;
+  kopt.policy = {/*max_batch=*/4, /*max_wait_ns=*/1000};
+  const int bulk = router.add("bulk", kopt, noop);
+  const int slo = router.add("slo", kopt, noop);
+  EXPECT_EQ(router.pick_ready(/*now=*/0), -1);
+  // Bulk lane: older arrival, no deadline (effective deadline 1000).
+  ASSERT_TRUE(router.lane(bulk).admit(1, /*arrival=*/0, kNoDeadline, /*now=*/0));
+  // SLO lane: newer arrival with a 600 deadline.
+  ASSERT_TRUE(router.lane(slo).admit(2, /*arrival=*/50, /*deadline=*/600, /*now=*/50));
+  // At t=2000 both lanes are past their triggers; EDF must pick the SLO
+  // lane despite the bulk lane's older arrival.
+  ASSERT_EQ(router.pick_ready(2000), slo);
+  Batch out;
+  ASSERT_TRUE(router.lane(slo).batcher().pop_ready(2000, out));
+  EXPECT_EQ(router.pick_ready(2000), bulk);
+  // Park horizon is the earliest lane deadline (bulk's max-wait expiry).
+  EXPECT_EQ(router.next_deadline_ns(), 1000);
+}
+
+// ---- adaptive batch policy (exact virtual time) ---------------------------------
+
+TEST(AdaptivePolicy, StaysAtMinBatchUntilRateIsKnown) {
+  AdaptiveOptions opt;
+  opt.enabled = true;
+  opt.min_batch = 2;
+  opt.max_batch = 64;
+  opt.target_window_ns = 1000;
+  AdaptiveBatchPolicy p(opt);
+  EXPECT_EQ(p.current().max_batch, 2u);  // no arrivals
+  EXPECT_EQ(p.current().max_wait_ns, 1000);
+  p.observe_arrival(0);
+  EXPECT_EQ(p.current().max_batch, 2u);  // one arrival: still no gap
+}
+
+TEST(AdaptivePolicy, SteadyRateFillsTheTargetWindow) {
+  AdaptiveOptions opt;
+  opt.enabled = true;
+  opt.max_batch = 64;
+  opt.target_window_ns = 1000;
+  opt.ewma_shift = 3;
+  AdaptiveBatchPolicy p(opt);
+  // Arrivals every 100 ns: a 1000 ns window is expected to hold 10.
+  for (std::int64_t t = 0; t <= 500; t += 100) p.observe_arrival(t);
+  EXPECT_EQ(p.ewma_gap_ns(), 100);
+  EXPECT_EQ(p.current().max_batch, 10u);
+  EXPECT_EQ(p.current().max_wait_ns, 1000);
+}
+
+TEST(AdaptivePolicy, EwmaStepIsExact) {
+  AdaptiveOptions opt;
+  opt.enabled = true;
+  opt.max_batch = 64;
+  opt.target_window_ns = 1000;
+  opt.ewma_shift = 3;
+  AdaptiveBatchPolicy p(opt);
+  p.observe_arrival(0);
+  p.observe_arrival(100);  // seeds ewma = 100
+  p.observe_arrival(110);  // gap 10: ewma += (10 - 100) >> 3 = -12 -> 88
+  EXPECT_EQ(p.ewma_gap_ns(), 88);
+  EXPECT_EQ(p.current().max_batch, 11u);  // 1000 / 88
+}
+
+TEST(AdaptivePolicy, ClampsToMinAndMaxBatch) {
+  AdaptiveOptions opt;
+  opt.enabled = true;
+  opt.min_batch = 1;
+  opt.max_batch = 64;
+  opt.target_window_ns = 1000;
+  // Burst (gap 1 ns): window/gap = 1000, clamped to 64.
+  AdaptiveBatchPolicy fast(opt);
+  fast.observe_arrival(0);
+  fast.observe_arrival(1);
+  EXPECT_EQ(fast.current().max_batch, 64u);
+  // Sparse (gap 5000 ns > window): window/gap = 0, clamped to 1.
+  AdaptiveBatchPolicy slow(opt);
+  slow.observe_arrival(0);
+  slow.observe_arrival(5000);
+  EXPECT_EQ(slow.current().max_batch, 1u);
+  // Out-of-order stamp clamps to a zero gap instead of going negative.
+  AdaptiveBatchPolicy unordered(opt);
+  unordered.observe_arrival(100);
+  unordered.observe_arrival(50);
+  EXPECT_EQ(unordered.ewma_gap_ns(), 0);
+  EXPECT_EQ(unordered.current().max_batch, 64u);
 }
 
 // ---- latency percentiles --------------------------------------------------------
@@ -285,6 +455,233 @@ TEST(QueryServer, KnnServeMatchesSequentialOracle) {
       EXPECT_FLOAT_EQ(want[j], got[j]) << "query " << q << " neighbor " << j;
     }
   }
+}
+
+// ---- lifecycle regressions ------------------------------------------------------
+
+// Regression: stop() joined a non-joinable thread (std::system_error) when
+// called without start() or a second time.
+TEST(ServerLifecycle, StopWithoutStartIsSafe) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{}, cr.runner());
+  server.stop();  // never started: must not throw
+  EXPECT_EQ(server.completed(), 0u);
+}  // destructor runs stop() again — must also be a no-op
+
+TEST(ServerLifecycle, DoubleStopIsIdempotent) {
+  CountingRunner cr;
+  ServerOptions opt;
+  opt.policy = {/*max_batch=*/8, /*max_wait_ns=*/0};
+  QueryServer server(opt, cr.runner());
+  server.start();
+  for (std::int32_t i = 0; i < 20; ++i) server.submit(i, tb::serve::now_ns());
+  server.stop();
+  const std::size_t done = server.completed();
+  server.stop();  // second stop: no join crash, no telemetry change
+  EXPECT_EQ(server.completed(), done);
+  EXPECT_EQ(done, 20u);
+}
+
+// Regression: submit() yield-spun forever when the server stopped while
+// the queue was full, and try_submit() after stop() enqueued requests no
+// one would ever drain.
+TEST(ServerLifecycle, SubmitAfterStopIsRejected) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{}, cr.runner());
+  server.start();
+  ASSERT_TRUE(server.submit(1, tb::serve::now_ns()));
+  server.stop();
+  EXPECT_FALSE(server.try_submit(2, tb::serve::now_ns()));
+  EXPECT_FALSE(server.submit(3, tb::serve::now_ns()));  // returns, never spins
+  EXPECT_EQ(server.completed(), 1u);
+  EXPECT_EQ(server.unserved_at_stop(), 0u);
+}
+
+// Requests accepted before start() on a server that never starts must be
+// accounted (unserved_at_stop), not stranded in the queue.
+TEST(ServerLifecycle, StopWithoutStartAccountsQueuedRequests) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{}, cr.runner());
+  for (std::int32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server.try_submit(i, tb::serve::now_ns()));
+  }
+  server.stop();
+  EXPECT_EQ(server.completed(), 0u);
+  EXPECT_EQ(server.unserved_at_stop(), 3u);
+}
+
+TEST(ServerLifecycle, SubmitToUnknownKernelIsRejected) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{}, cr.runner());
+  server.start();
+  EXPECT_FALSE(server.try_submit(/*kernel=*/5, 1, tb::serve::now_ns()));
+  EXPECT_FALSE(server.submit(/*kernel=*/-1, 1, tb::serve::now_ns()));
+  server.stop();
+  EXPECT_EQ(server.completed(), 0u);
+}
+
+// ---- multi-kernel serving -------------------------------------------------------
+
+TEST(MultiKernel, RoutesEachKernelToItsOwnRunner) {
+  CountingRunner even, odd;
+  QueryServer server(ServerOptions{});
+  KernelOptions kopt;
+  kopt.policy = {/*max_batch=*/8, /*max_wait_ns=*/100'000};
+  const int ke = server.register_kernel("even", kopt, even.runner());
+  const int ko = server.register_kernel("odd", kopt, odd.runner());
+  EXPECT_EQ(server.kernels(), 2u);
+  EXPECT_EQ(server.find_kernel("odd"), ko);
+  EXPECT_EQ(server.kernel_name(ke), "even");
+  server.start();
+  constexpr std::int32_t kN = 400;
+  for (std::int32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(server.submit(i % 2 == 0 ? ke : ko, i, tb::serve::now_ns()));
+  }
+  server.stop();
+
+  EXPECT_EQ(server.completed(ke), static_cast<std::size_t>(kN / 2));
+  EXPECT_EQ(server.completed(ko), static_cast<std::size_t>(kN / 2));
+  EXPECT_EQ(server.completed(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(server.latencies_s(ke).size(), static_cast<std::size_t>(kN / 2));
+  EXPECT_EQ(server.latencies_s().size(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(server.batches_dispatched(),
+            server.batches_dispatched(ke) + server.batches_dispatched(ko));
+  for (const std::int32_t id : even.seen) EXPECT_EQ(id % 2, 0) << "wrong lane";
+  for (const std::int32_t id : odd.seen) EXPECT_EQ(id % 2, 1) << "wrong lane";
+  std::vector<int> times(kN, 0);
+  for (const std::int32_t id : even.seen) times[static_cast<std::size_t>(id)]++;
+  for (const std::int32_t id : odd.seen) times[static_cast<std::size_t>(id)]++;
+  for (std::int32_t i = 0; i < kN; ++i) EXPECT_EQ(times[static_cast<std::size_t>(i)], 1);
+}
+
+// One server multiplexing knn + pointcorr + minmaxdist through the hybrid
+// executor must reproduce all three sequential oracles exactly: round-robin
+// load serves each (kernel, id) pair exactly once.
+TEST(MultiKernel, ThreeKernelServeMatchesSequentialOracles) {
+  constexpr std::size_t kPoints = 400;
+  constexpr int kK = 4;
+  constexpr float kRad2 = 0.05f;
+  const auto points = tb::spatial::Bodies::uniform_cube(kPoints);
+  const auto tree = tb::spatial::KdTree::build(points, 16);
+  const auto n = static_cast<std::int32_t>(kPoints);
+
+  // Sequential oracles.
+  tb::apps::KnnState knn_oracle(kPoints, kK);
+  {
+    tb::apps::KnnProgram prog{&points, &tree, &knn_oracle};
+    tb::apps::knn_sequential(prog);
+  }
+  tb::apps::PointCorrProgram pc_prog{&points, &tree, kRad2};
+  const std::uint64_t pc_oracle = tb::apps::pointcorr_sequential(pc_prog);
+  tb::apps::MinmaxDistState mm_oracle(kPoints);
+  {
+    tb::apps::MinmaxDistProgram prog{&points, &tree, &mm_oracle};
+    tb::apps::minmaxdist_sequential(prog);
+  }
+
+  // Served states.
+  tb::rt::ForkJoinPool pool(2);
+  tb::rt::HybridOptions hopt;
+
+  tb::apps::KnnState knn_served(kPoints, kK);
+  tb::apps::KnnProgram knn_prog{&points, &tree, &knn_served};
+  using KnnEngine = tb::lockstep::BlockedTraversal<tb::apps::KnnProgram::simd_width>;
+  auto knn_runner = tb::serve::make_pool_runner<KnnEngine>(
+      pool, hopt,
+      [&knn_prog, &tree](const std::int32_t* ids, std::size_t count, KnnEngine& engine) {
+        tb::lockstep::blocked_knn_frame(knn_prog, tree.root, ids, count, engine);
+      });
+
+  using PcEngine = tb::lockstep::BlockedTraversal<tb::apps::PointCorrProgram::simd_width>;
+  std::vector<tb::rt::Padded<std::uint64_t>> pc_parts(
+      static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
+  auto pc_runner = tb::serve::make_pool_runner<PcEngine>(
+      pool, hopt,
+      [&pc_prog, &tree, &pc_parts](const std::int32_t* ids, std::size_t count,
+                                   PcEngine& engine) {
+        const auto slot = static_cast<std::size_t>(tb::rt::ForkJoinPool::worker_id());
+        pc_parts[slot].value +=
+            tb::lockstep::blocked_pointcorr_frame(pc_prog, tree.root, ids, count, engine);
+      });
+
+  tb::apps::MinmaxDistState mm_served(kPoints);
+  tb::apps::MinmaxDistProgram mm_prog{&points, &tree, &mm_served};
+  using MmEngine = tb::lockstep::BlockedTraversal<tb::apps::MinmaxDistProgram::simd_width>;
+  auto mm_runner = tb::serve::make_pool_runner<MmEngine>(
+      pool, hopt,
+      [&mm_prog, &tree](const std::int32_t* ids, std::size_t count, MmEngine& engine) {
+        tb::lockstep::blocked_minmaxdist_frame(mm_prog, tree.root, ids, count, engine);
+      });
+
+  QueryServer server(ServerOptions{});
+  KernelOptions kopt;
+  kopt.policy = {/*max_batch=*/32, /*max_wait_ns=*/200'000};
+  const int k_knn = server.register_kernel("knn", kopt, std::move(knn_runner));
+  const int k_pc = server.register_kernel("pointcorr", kopt, std::move(pc_runner));
+  const int k_mm = server.register_kernel("minmaxdist", kopt, std::move(mm_runner));
+  server.start();
+  for (std::int32_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(server.submit(k_knn, i, tb::serve::now_ns()));
+    ASSERT_TRUE(server.submit(k_pc, i, tb::serve::now_ns()));
+    ASSERT_TRUE(server.submit(k_mm, i, tb::serve::now_ns()));
+  }
+  server.stop();
+
+  EXPECT_EQ(server.completed(k_knn), kPoints);
+  EXPECT_EQ(server.completed(k_pc), kPoints);
+  EXPECT_EQ(server.completed(k_mm), kPoints);
+  for (std::int32_t q = 0; q < n; ++q) {
+    const auto want = knn_oracle.distances(q);
+    const auto got = knn_served.distances(q);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_FLOAT_EQ(want[j], got[j]) << "knn query " << q << " neighbor " << j;
+    }
+  }
+  std::uint64_t pc_total = 0;
+  for (const auto& p : pc_parts) pc_total += p.value;
+  EXPECT_EQ(pc_total, pc_oracle);
+  EXPECT_EQ(tb::apps::minmaxdist_digest(mm_served), tb::apps::minmaxdist_digest(mm_oracle));
+}
+
+// ---- deadline-aware serving end to end ------------------------------------------
+
+TEST(DeadlineServe, ExpiredDeadlinesAreShedNotServed) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{}, cr.runner());
+  server.start();
+  constexpr std::int32_t kN = 50;
+  const std::int64_t arrival = tb::serve::now_ns() - 2'000'000;
+  for (std::int32_t i = 0; i < kN; ++i) {
+    // Deadline 1 ms in the past: admission must shed every one.
+    ASSERT_TRUE(server.submit(0, i, arrival, arrival + 1'000'000));
+  }
+  server.stop();
+  EXPECT_EQ(server.completed(), 0u);
+  EXPECT_EQ(server.shed(), static_cast<std::size_t>(kN));
+  EXPECT_TRUE(cr.seen.empty());
+  EXPECT_TRUE(server.latencies_s().empty());
+}
+
+TEST(DeadlineServe, GenerousDeadlinesAllServedOnTime) {
+  CountingRunner cr;
+  ServerOptions opt;
+  opt.policy = {/*max_batch=*/8, /*max_wait_ns=*/100'000};
+  QueryServer server(opt, cr.runner());
+  server.start();
+  constexpr std::int32_t kN = 200;
+  std::size_t accepted = 0;
+  for (std::int32_t i = 0; i < kN; ++i) {
+    const std::int64_t t = tb::serve::now_ns();
+    if (server.submit(0, i, t, t + std::int64_t{600} * 1'000'000'000)) ++accepted;
+  }
+  server.stop();
+  EXPECT_EQ(accepted, static_cast<std::size_t>(kN));
+  EXPECT_EQ(server.completed(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(server.shed(), 0u);
+  EXPECT_EQ(server.served_late(), 0u);
+  // Accounting invariant: every accepted query lands in exactly one bucket.
+  EXPECT_EQ(accepted, server.completed() + server.shed() + server.unserved_at_stop());
 }
 
 }  // namespace
