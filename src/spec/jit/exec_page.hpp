@@ -1,0 +1,125 @@
+// Executable-memory allocation for the spec-bytecode JIT.
+//
+// The page lifecycle is strict W^X: pages are mmap'd READ|WRITE, machine
+// code is copied in, and `protect_exec()` flips them to READ|EXEC before
+// the first call — at no point is a mapping both writable and executable.
+// Once executable, a page is immutable until munmap; re-compilation
+// allocates a fresh mapping rather than re-opening an old one.
+//
+// TB_SPEC_JIT_SUPPORTED gates the whole JIT subsystem: it requires an
+// x86-64 target and a POSIX mmap/mprotect host, and can be forced off with
+// -DTASKBATCH_SPEC_JIT_OFF (the CMake option TASKBATCH_SPEC_JIT=OFF) so the
+// interpreter-fallback build is testable on x86 hosts too.  Everything
+// downstream (emitter, compiler, VM dispatch) compiles to the fallback on
+// unsupported targets instead of #error-ing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#if !defined(TASKBATCH_SPEC_JIT_OFF) && defined(__x86_64__) && \
+    (defined(__linux__) || defined(__APPLE__) || defined(__FreeBSD__))
+#define TB_SPEC_JIT_SUPPORTED 1
+#else
+#define TB_SPEC_JIT_SUPPORTED 0
+#endif
+
+#if TB_SPEC_JIT_SUPPORTED
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace tb::spec::jit {
+
+#if TB_SPEC_JIT_SUPPORTED
+
+// One anonymous private mapping holding jitted code.  Move-only; the
+// destructor unmaps.  Allocation failure is reported by is_valid() == false
+// (callers fall back to the interpreter, they never throw on OOM here).
+class ExecPage {
+public:
+  ExecPage() = default;
+
+  static ExecPage allocate(std::size_t bytes) {
+    ExecPage p;
+    if (bytes == 0) return p;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    const std::size_t ps = page > 0 ? static_cast<std::size_t>(page) : 4096;
+    p.size_ = (bytes + ps - 1) / ps * ps;
+    void* mem = ::mmap(nullptr, p.size_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      p.size_ = 0;
+      return p;
+    }
+    p.base_ = static_cast<std::uint8_t*>(mem);
+    return p;
+  }
+
+  ExecPage(ExecPage&& o) noexcept
+      : base_(std::exchange(o.base_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        exec_(std::exchange(o.exec_, false)) {}
+  ExecPage& operator=(ExecPage&& o) noexcept {
+    if (this != &o) {
+      release();
+      base_ = std::exchange(o.base_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+      exec_ = std::exchange(o.exec_, false);
+    }
+    return *this;
+  }
+  ExecPage(const ExecPage&) = delete;
+  ExecPage& operator=(const ExecPage&) = delete;
+  ~ExecPage() { release(); }
+
+  bool is_valid() const { return base_ != nullptr; }
+  bool is_executable() const { return exec_; }
+  std::size_t size() const { return size_; }
+
+  // Writable view; only meaningful before protect_exec().
+  std::uint8_t* writable() { return exec_ ? nullptr : base_; }
+
+  // W -> X transition.  After this the mapping is never writable again.
+  bool protect_exec() {
+    if (!base_ || exec_) return exec_;
+    if (::mprotect(base_, size_, PROT_READ | PROT_EXEC) != 0) return false;
+    exec_ = true;
+    return true;
+  }
+
+  const std::uint8_t* code() const { return exec_ ? base_ : nullptr; }
+
+private:
+  void release() {
+    if (base_) ::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+    exec_ = false;
+  }
+
+  std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool exec_ = false;
+};
+
+#else  // !TB_SPEC_JIT_SUPPORTED
+
+// Fallback stub: never valid, so the compiler reports "no code" and every
+// caller takes the interpreter path.  Keeps non-x86 / forced-off builds
+// compiling the exact same call sites.
+class ExecPage {
+public:
+  static ExecPage allocate(std::size_t) { return {}; }
+  bool is_valid() const { return false; }
+  bool is_executable() const { return false; }
+  std::size_t size() const { return 0; }
+  std::uint8_t* writable() { return nullptr; }
+  bool protect_exec() { return false; }
+  const std::uint8_t* code() const { return nullptr; }
+};
+
+#endif  // TB_SPEC_JIT_SUPPORTED
+
+}  // namespace tb::spec::jit

@@ -1,0 +1,465 @@
+// Baseline JIT: verified spec bytecode -> straight-line x86-64 step functions.
+//
+// Each chunk compiles to one native function
+//
+//     std::int64_t fn(const std::int64_t* params)   // params in rdi
+//
+// that reproduces the scalar VM (vm.hpp run_chunk) bit for bit: wrap-around
+// add/sub/mul/neg/shl map to the hardware instructions (two's-complement
+// wrap *is* the hardware behaviour), comparisons and logic produce exact
+// 0/1 values via setcc, and Div/Mod emit the guarded total-division
+// sequence (b == 0 -> 0; INT64_MIN / -1 -> INT64_MIN, INT64_MIN % -1 -> 0;
+// otherwise cqo+idiv) so the verifier's totality contract survives
+// compilation.  Short-circuit jumps become forward rel32 branches.
+//
+// The operand stack disappears at compile time: the bytecode verifier
+// proves a single static stack depth per program point, so every slot gets
+// a fixed home — slots 0..3 live in r8..r11, deeper slots in the native
+// frame at [rsp + 8*(slot-4)].  No dispatch, no stack-pointer arithmetic,
+// no memory traffic for shallow expressions (the common case: spec chunks
+// rarely exceed depth 4).
+//
+// Fallback rules (the interpreter is always the reference tier):
+//   * non-x86-64 or forced-off builds: compile_chunks() reports no code;
+//   * TB_SPEC_JIT=off|0|false at runtime: callers skip compilation;
+//   * a chunk that fails verification or uses an unsupported opcode:
+//     that chunk's entry is null, the interpreter runs it.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "spec/bytecode.hpp"
+#include "spec/jit/exec_page.hpp"
+#include "spec/jit/x64_emitter.hpp"
+
+namespace tb::spec::jit {
+
+using Fn = std::int64_t (*)(const std::int64_t* params);
+
+constexpr bool supported() { return TB_SPEC_JIT_SUPPORTED != 0; }
+
+// Runtime kill switch: TB_SPEC_JIT=off (or 0/false) forces the interpreter
+// even on supported hosts.  Read once; serving processes don't re-poll env.
+inline bool runtime_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("TB_SPEC_JIT");
+    if (v == nullptr) return true;
+    const std::string_view s(v);
+    return !(s == "off" || s == "OFF" || s == "0" || s == "false");
+  }();
+  return on;
+}
+
+// Compiled code for a set of chunks (one method).  Entry i is null when
+// chunk i fell back to the interpreter.  The ExecPage is shared so copies
+// of a program stay cheap and keep the code alive.
+class ChunkSet {
+public:
+  ChunkSet() = default;
+
+  bool valid() const { return page_ != nullptr && page_->is_executable(); }
+  std::size_t size() const { return fns_.size(); }
+  Fn fn(std::size_t i) const { return i < fns_.size() ? fns_[i] : nullptr; }
+
+private:
+  friend ChunkSet compile_chunks(std::span<const Chunk* const>, int);
+  std::shared_ptr<ExecPage> page_;
+  std::vector<Fn> fns_;
+};
+
+#if TB_SPEC_JIT_SUPPORTED
+
+namespace detail {
+
+// Static stack depth before each instruction, recomputed exactly as the
+// verifier propagates it.  Returns false on any inconsistency — callers
+// only hand us verified chunks, but the JIT re-derives rather than trusts.
+inline bool depths_before(const Chunk& ch, std::vector<int>& depth_at) {
+  const auto& code = ch.code();
+  depth_at.assign(code.size(), -1);
+  if (code.empty()) return false;
+  depth_at[0] = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const int d = depth_at[i];
+    if (d < 0) return false;
+    const Instr in = code[i];
+    int out = d;
+    switch (in.op) {
+      case OpCode::PushConst:
+      case OpCode::PushParam:
+        out = d + 1;
+        break;
+      case OpCode::Neg:
+      case OpCode::Shl:
+      case OpCode::LogicNot:
+      case OpCode::Bool:
+        break;
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::Mul:
+      case OpCode::Div:
+      case OpCode::Mod:
+      case OpCode::CmpEq:
+      case OpCode::CmpNe:
+      case OpCode::CmpLt:
+      case OpCode::CmpLe:
+      case OpCode::CmpGt:
+      case OpCode::CmpGe:
+      case OpCode::LogicAnd:
+      case OpCode::LogicOr:
+        out = d - 1;
+        break;
+      case OpCode::JumpIfZero:
+      case OpCode::JumpIfNonZero: {
+        const std::size_t target = i + 1 + static_cast<std::size_t>(in.arg);
+        if (in.arg < 0 || target >= code.size()) return false;
+        if (depth_at[target] >= 0 && depth_at[target] != d) return false;
+        depth_at[target] = d;  // taken edge keeps the tested value
+        out = d - 1;
+        break;
+      }
+      case OpCode::Return:
+        continue;  // no fall-through successor
+    }
+    if (i + 1 < code.size()) {
+      if (depth_at[i + 1] >= 0 && depth_at[i + 1] != out) return false;
+      depth_at[i + 1] = out;
+    }
+  }
+  return true;
+}
+
+// Where a stack slot lives: a register for the hot shallow slots, the
+// native frame beyond.
+struct Loc {
+  bool in_reg;
+  Reg reg;            // valid when in_reg
+  std::int32_t disp;  // [rsp + disp] when !in_reg
+};
+
+inline Loc slot_loc(int slot) {
+  static constexpr Reg kSlotRegs[4] = {R8, R9, R10, R11};
+  if (slot < 4) return {true, kSlotRegs[slot], 0};
+  return {false, RSP, static_cast<std::int32_t>(8 * (slot - 4))};
+}
+
+class ChunkCompiler {
+public:
+  ChunkCompiler(X64Emitter& em, const Chunk& ch) : em_(em), ch_(ch) {}
+
+  // Appends one complete function to the emitter; false = unsupported
+  // chunk (nothing emitted beyond a possibly partial prologue is a bug, so
+  // the check runs before emission starts).
+  bool compile(int arity) {
+    const VerifyResult v = ch_.verify(arity);
+    if (!v.ok) return false;
+    std::vector<int> depth_at;
+    if (!detail::depths_before(ch_, depth_at)) return false;
+    frame_ = v.max_stack > 4 ? 8 * (v.max_stack - 4) : 0;
+
+    if (frame_ > 0) em_.sub_rsp(frame_);
+    const auto& code = ch_.code();
+    const auto& consts = ch_.consts();
+    std::vector<std::vector<std::size_t>> fixups(code.size());
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (const std::size_t f : fixups[i]) em_.patch_to_here(f);
+      const Instr in = code[i];
+      const int d = depth_at[i];
+      switch (in.op) {
+        case OpCode::PushConst:
+          emit_push_const(consts[static_cast<std::size_t>(in.arg)], slot_loc(d));
+          break;
+        case OpCode::PushParam:
+          emit_push_param(in.arg, slot_loc(d));
+          break;
+        case OpCode::Add:
+          emit_arith(OpCode::Add, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::Sub:
+          emit_arith(OpCode::Sub, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::Mul:
+          emit_arith(OpCode::Mul, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::Div:
+          emit_divmod(/*want_rem=*/false, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::Mod:
+          emit_divmod(/*want_rem=*/true, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::Neg: {
+          const Loc t = slot_loc(d - 1);
+          if (t.in_reg) {
+            em_.neg_r(t.reg);
+          } else {
+            em_.neg_m(RSP, t.disp);
+          }
+          break;
+        }
+        case OpCode::Shl: {
+          const Loc t = slot_loc(d - 1);
+          const auto amount = static_cast<std::uint8_t>(in.arg);
+          if (t.in_reg) {
+            em_.shl_ri(t.reg, amount);
+          } else {
+            em_.shl_mi(RSP, t.disp, amount);
+          }
+          break;
+        }
+        case OpCode::CmpEq:
+          emit_compare(Cond::Eq, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::CmpNe:
+          emit_compare(Cond::Ne, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::CmpLt:
+          emit_compare(Cond::Lt, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::CmpLe:
+          emit_compare(Cond::Le, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::CmpGt:
+          emit_compare(Cond::Gt, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::CmpGe:
+          emit_compare(Cond::Ge, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::LogicNot:
+          emit_truth(Cond::Eq, slot_loc(d - 1));
+          break;
+        case OpCode::Bool:
+          emit_truth(Cond::Ne, slot_loc(d - 1));
+          break;
+        case OpCode::LogicAnd:
+          emit_logic(/*is_and=*/true, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::LogicOr:
+          emit_logic(/*is_and=*/false, slot_loc(d - 2), slot_loc(d - 1));
+          break;
+        case OpCode::JumpIfZero:
+        case OpCode::JumpIfNonZero: {
+          emit_cmp_zero(slot_loc(d - 1));
+          const std::size_t fix =
+              em_.jcc(in.op == OpCode::JumpIfZero ? Cond::Eq : Cond::Ne);
+          fixups[i + 1 + static_cast<std::size_t>(in.arg)].push_back(fix);
+          break;
+        }
+        case OpCode::Return: {
+          const Loc t = slot_loc(d - 1);
+          if (t.in_reg) {
+            em_.mov_rr(RAX, t.reg);
+          } else {
+            em_.mov_rm(RAX, RSP, t.disp);
+          }
+          if (frame_ > 0) em_.add_rsp(frame_);
+          em_.ret();
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+private:
+  void load(Reg dst, const Loc& l) {
+    if (l.in_reg) {
+      em_.mov_rr(dst, l.reg);
+    } else {
+      em_.mov_rm(dst, RSP, l.disp);
+    }
+  }
+  void store(const Loc& l, Reg src) {
+    if (l.in_reg) {
+      em_.mov_rr(l.reg, src);
+    } else {
+      em_.mov_mr(RSP, l.disp, src);
+    }
+  }
+
+  void emit_push_const(std::int64_t v, const Loc& t) {
+    if (t.in_reg) {
+      em_.mov_ri(t.reg, v);
+    } else if (X64Emitter::fits_i32(v)) {
+      em_.mov_mi32(RSP, t.disp, static_cast<std::int32_t>(v));
+    } else {
+      em_.mov_ri(RAX, v);
+      em_.mov_mr(RSP, t.disp, RAX);
+    }
+  }
+
+  void emit_push_param(std::int32_t idx, const Loc& t) {
+    const auto off = static_cast<std::int32_t>(8 * idx);
+    if (t.in_reg) {
+      em_.mov_rm(t.reg, RDI, off);
+    } else {
+      em_.mov_rm(RAX, RDI, off);
+      em_.mov_mr(RSP, t.disp, RAX);
+    }
+  }
+
+  // a <- a op b for the wrap-around ops (hardware semantics already match).
+  void emit_arith(OpCode op, const Loc& a, const Loc& b) {
+    if (a.in_reg) {
+      if (b.in_reg) {
+        switch (op) {
+          case OpCode::Add: em_.add_rr(a.reg, b.reg); break;
+          case OpCode::Sub: em_.sub_rr(a.reg, b.reg); break;
+          default: em_.imul_rr(a.reg, b.reg); break;
+        }
+      } else {
+        switch (op) {
+          case OpCode::Add: em_.add_rm(a.reg, RSP, b.disp); break;
+          case OpCode::Sub: em_.sub_rm(a.reg, RSP, b.disp); break;
+          default: em_.imul_rm(a.reg, RSP, b.disp); break;
+        }
+      }
+      return;
+    }
+    em_.mov_rm(RAX, RSP, a.disp);
+    if (b.in_reg) {
+      switch (op) {
+        case OpCode::Add: em_.add_rr(RAX, b.reg); break;
+        case OpCode::Sub: em_.sub_rr(RAX, b.reg); break;
+        default: em_.imul_rr(RAX, b.reg); break;
+      }
+    } else {
+      switch (op) {
+        case OpCode::Add: em_.add_rm(RAX, RSP, b.disp); break;
+        case OpCode::Sub: em_.sub_rm(RAX, RSP, b.disp); break;
+        default: em_.imul_rm(RAX, RSP, b.disp); break;
+      }
+    }
+    em_.mov_mr(RSP, a.disp, RAX);
+  }
+
+  // a <- (a cond b) ? 1 : 0
+  void emit_compare(Cond c, const Loc& a, const Loc& b) {
+    if (a.in_reg && b.in_reg) {
+      em_.cmp_rr(a.reg, b.reg);
+    } else if (a.in_reg) {
+      em_.cmp_rm(a.reg, RSP, b.disp);
+    } else {
+      em_.mov_rm(RAX, RSP, a.disp);
+      if (b.in_reg) {
+        em_.cmp_rr(RAX, b.reg);
+      } else {
+        em_.cmp_rm(RAX, RSP, b.disp);
+      }
+    }
+    em_.setcc(c, RAX);
+    em_.movzx_r64_r8(RAX, RAX);
+    store(a, RAX);
+  }
+
+  void emit_cmp_zero(const Loc& l) {
+    if (l.in_reg) {
+      em_.test_rr(l.reg, l.reg);
+    } else {
+      em_.cmp_mi8(RSP, l.disp, 0);
+    }
+  }
+
+  // t <- (t == 0) for LogicNot (cond Eq), (t != 0) for Bool (cond Ne).
+  void emit_truth(Cond c, const Loc& t) {
+    emit_cmp_zero(t);
+    em_.setcc(c, RAX);
+    em_.movzx_r64_r8(RAX, RAX);
+    store(t, RAX);
+  }
+
+  // a <- (a != 0) &/| (b != 0); both sides already evaluated (eager dialect).
+  void emit_logic(bool is_and, const Loc& a, const Loc& b) {
+    emit_cmp_zero(a);
+    em_.setcc(Cond::Ne, RAX);
+    emit_cmp_zero(b);
+    em_.setcc(Cond::Ne, RCX);
+    if (is_and) {
+      em_.and_r8(RAX, RCX);
+    } else {
+      em_.or_r8(RAX, RCX);
+    }
+    em_.movzx_r64_r8(RAX, RAX);
+    store(a, RAX);
+  }
+
+  // a <- div_total(a, b) / mod_total(a, b):
+  //   b == 0                    -> 0
+  //   a == INT64_MIN && b == -1 -> a (div) / 0 (mod)    [idiv would #DE]
+  //   otherwise                 -> cqo; idiv
+  void emit_divmod(bool want_rem, const Loc& a, const Loc& b) {
+    load(RAX, a);
+    load(RCX, b);
+    em_.test_rr(RCX, RCX);
+    const std::size_t to_nonzero = em_.jcc(Cond::Ne);
+    em_.xor_r32(RAX);  // b == 0: result 0
+    const std::size_t to_end_zero = em_.jmp();
+    em_.patch_to_here(to_nonzero);
+    em_.cmp_ri8(RCX, -1);
+    const std::size_t to_div1 = em_.jcc(Cond::Ne);
+    em_.mov_ri(RDX, std::numeric_limits<std::int64_t>::min());
+    em_.cmp_rr(RAX, RDX);
+    const std::size_t to_div2 = em_.jcc(Cond::Ne);
+    if (want_rem) em_.xor_r32(RAX);  // INT64_MIN % -1 == 0; div keeps rax == a
+    const std::size_t to_end_min = em_.jmp();
+    em_.patch_to_here(to_div1);
+    em_.patch_to_here(to_div2);
+    em_.cqo();
+    em_.idiv_r(RCX);
+    if (want_rem) em_.mov_rr(RAX, RDX);
+    em_.patch_to_here(to_end_zero);
+    em_.patch_to_here(to_end_min);
+    store(a, RAX);
+  }
+
+  X64Emitter& em_;
+  const Chunk& ch_;
+  std::int32_t frame_ = 0;
+};
+
+}  // namespace detail
+
+// Compile a method's chunks into one executable page.  Per-chunk fallback:
+// an unsupported chunk yields a null entry; page-allocation or mprotect
+// failure yields an entirely invalid (all-interpreter) set.
+inline ChunkSet compile_chunks(std::span<const Chunk* const> chunks, int arity) {
+  ChunkSet out;
+  X64Emitter em;
+  std::vector<std::size_t> offsets(chunks.size());
+  std::vector<bool> ok(chunks.size(), false);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    offsets[i] = em.size();
+    detail::ChunkCompiler cc(em, *chunks[i]);
+    ok[i] = cc.compile(arity);
+  }
+  if (em.size() == 0) return out;
+  auto page = std::make_shared<ExecPage>(ExecPage::allocate(em.size()));
+  if (!page->is_valid()) return out;
+  std::memcpy(page->writable(), em.code().data(), em.size());
+  if (!page->protect_exec()) return out;
+  out.page_ = std::move(page);
+  out.fns_.resize(chunks.size(), nullptr);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (ok[i]) {
+      out.fns_[i] = reinterpret_cast<Fn>(
+          const_cast<std::uint8_t*>(out.page_->code() + offsets[i]));
+    }
+  }
+  return out;
+}
+
+#else  // !TB_SPEC_JIT_SUPPORTED
+
+// Fallback build: no code is ever produced; every entry stays null and the
+// interpreter runs everything.
+inline ChunkSet compile_chunks(std::span<const Chunk* const>, int) { return {}; }
+
+#endif  // TB_SPEC_JIT_SUPPORTED
+
+}  // namespace tb::spec::jit

@@ -12,6 +12,13 @@
 //                   discipline of the paper's hand-vectorized kernels (§6),
 //                   obtained here mechanically from the program text.
 //
+// A third tier sits behind the same entry: each scalar chunk can carry a
+// jitted native step function (spec/jit/jit_compiler.hpp), and the
+// PreparedChunk overload of run_chunk dispatches to it when present.  The
+// interpreter remains the always-available fallback — non-x86 builds,
+// TB_SPEC_JIT=off, or any chunk the JIT declines compile to exactly the
+// same results (the JIT reproduces wrap/total semantics bit for bit).
+//
 // CompiledSpecProgram packages both into a program satisfying the same
 // TaskProgram / SoaProgram / SimdProgram concepts as the hand-written
 // kernels, which means a *text* spec program runs through every scheduler
@@ -27,6 +34,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/program.hpp"
@@ -35,6 +43,7 @@
 #include "spec/arith.hpp"
 #include "spec/bytecode.hpp"
 #include "spec/compiler.hpp"
+#include "spec/jit/jit_compiler.hpp"
 #include "spec/spec_lang.hpp"
 
 namespace tb::spec {
@@ -140,6 +149,38 @@ inline std::int64_t run_chunk(const Chunk& ch, std::span<const std::int64_t> par
     }
   }
   throw std::logic_error("chunk fell off the end (verifier should reject this)");
+}
+
+// ---- jitted chunks ----------------------------------------------------------------
+
+// A chunk paired with its (optional) jitted entry.  run_chunk on a
+// PreparedChunk is the tier switch: native code when the JIT produced it,
+// the interpreter above otherwise.  The jitted function allocates its own
+// evaluation frame, so `stack` is only touched on the fallback path.
+struct PreparedChunk {
+  const Chunk* chunk = nullptr;
+  jit::Fn fn = nullptr;
+};
+
+inline std::int64_t run_chunk(const PreparedChunk& pc, std::span<const std::int64_t> params,
+                              std::span<std::int64_t> stack) {
+  if (pc.fn != nullptr) return pc.fn(params.data());
+  return run_chunk(*pc.chunk, params, stack);
+}
+
+// Whether CompiledSpecProgram compiles its scalar chunks to native code.
+//   Auto — platform support AND the TB_SPEC_JIT env switch (the default);
+//   Off  — interpreter only (the bench's `vm` tier, fallback tests);
+//   On   — ignore the env switch; still interpreter on unsupported builds.
+enum class JitMode { Auto, Off, On };
+
+inline bool jit_mode_active(JitMode m) {
+  switch (m) {
+    case JitMode::Off: return false;
+    case JitMode::On: return jit::supported();
+    case JitMode::Auto: return jit::supported() && jit::runtime_enabled();
+  }
+  return false;
 }
 
 // ---- block VM ---------------------------------------------------------------------
@@ -297,7 +338,7 @@ public:
   static constexpr int max_children = SpecProgram::max_children;
   static constexpr int kMaxStack = 64;
 
-  explicit CompiledSpecProgram(const Method& m)
+  explicit CompiledSpecProgram(const Method& m, JitMode jit_mode = JitMode::Auto)
       : scalar_(compile_method(m, CompileMode::Scalar)),
         blocked_(compile_method(m, CompileMode::Blocked)) {
     if (scalar_.max_stack > kMaxStack || blocked_.max_stack > kMaxStack) {
@@ -307,28 +348,66 @@ public:
     if (scalar_.spawns.size() > static_cast<std::size_t>(max_children)) {
       throw CompileError("too many spawns (max 8)");
     }
+    prepare_chunks(jit_mode);
   }
 
-  static CompiledSpecProgram parse(std::string_view source) {
-    return CompiledSpecProgram(Parser(source).parse_method());
+  static CompiledSpecProgram parse(std::string_view source,
+                                   JitMode jit_mode = JitMode::Auto) {
+    return CompiledSpecProgram(Parser(source).parse_method(), jit_mode);
+  }
+
+  // Copies and moves share the executable page (ChunkSet holds it via
+  // shared_ptr) but must re-point the prepared chunks at their own
+  // CompiledMethod storage.
+  CompiledSpecProgram(const CompiledSpecProgram& o)
+      : scalar_(o.scalar_), blocked_(o.blocked_), jit_code_(o.jit_code_) {
+    rebind();
+  }
+  CompiledSpecProgram(CompiledSpecProgram&& o)
+      : scalar_(std::move(o.scalar_)),
+        blocked_(std::move(o.blocked_)),
+        jit_code_(std::move(o.jit_code_)) {
+    rebind();
+  }
+  CompiledSpecProgram& operator=(const CompiledSpecProgram& o) {
+    if (this != &o) {
+      scalar_ = o.scalar_;
+      blocked_ = o.blocked_;
+      jit_code_ = o.jit_code_;
+      rebind();
+    }
+    return *this;
+  }
+  CompiledSpecProgram& operator=(CompiledSpecProgram&& o) {
+    if (this != &o) {
+      scalar_ = std::move(o.scalar_);
+      blocked_ = std::move(o.blocked_);
+      jit_code_ = std::move(o.jit_code_);
+      rebind();
+    }
+    return *this;
   }
 
   const CompiledMethod& scalar_method() const { return scalar_; }
   const CompiledMethod& blocked_method() const { return blocked_; }
   int arity() const { return scalar_.arity; }
 
+  // True when at least the base chunk runs jitted (all-or-nothing in
+  // practice: the baseline JIT covers the whole verified opcode set).
+  bool jit_active() const { return base_pc_.fn != nullptr; }
+
   static Result identity() { return 0; }
   static void combine(Result& a, const Result& b) { a += b; }
 
-  bool is_base(const Task& t) const { return eval_scalar(scalar_.base, t) != 0; }
+  bool is_base(const Task& t) const { return eval_scalar(base_pc_, t) != 0; }
   void leaf(const Task& t, Result& r) const {
-    r += static_cast<Result>(eval_scalar(scalar_.reduce, t));
+    r += static_cast<Result>(eval_scalar(reduce_pc_, t));
   }
 
   template <class Emit>
   void expand(const Task& t, Emit&& emit) const {
     int slot = 0;
-    for (const CompiledSpawn& s : scalar_.spawns) {
+    for (const PreparedSpawn& s : spawn_pcs_) {
       if (!s.has_guard || eval_scalar(s.guard, t) != 0) {
         Task child{};
         for (std::size_t i = 0; i < s.args.size(); ++i) {
@@ -400,13 +479,68 @@ public:
   }
 
 private:
-  std::int64_t eval_scalar(const Chunk& ch, const Task& t) const {
+  struct PreparedSpawn {
+    bool has_guard = false;
+    PreparedChunk guard;
+    std::vector<PreparedChunk> args;
+  };
+
+  std::int64_t eval_scalar(const PreparedChunk& pc, const Task& t) const {
     std::array<std::int64_t, kMaxStack> stack;
-    return run_chunk(ch, std::span<const std::int64_t>(t.p.data(), t.p.size()), stack);
+    return run_chunk(pc, std::span<const std::int64_t>(t.p.data(), t.p.size()), stack);
+  }
+
+  // Scalar chunks in a fixed order; index into this list == function index
+  // in the ChunkSet.
+  std::vector<const Chunk*> collect_chunks() const {
+    std::vector<const Chunk*> chunks;
+    chunks.push_back(&scalar_.base);
+    chunks.push_back(&scalar_.reduce);
+    for (const CompiledSpawn& s : scalar_.spawns) {
+      if (s.has_guard) chunks.push_back(&s.guard);
+      for (const Chunk& a : s.args) chunks.push_back(&a);
+    }
+    return chunks;
+  }
+
+  // Pair every scalar chunk with its jitted entry (or null).
+  void prepare_chunks(JitMode jit_mode) {
+    if (jit_mode_active(jit_mode)) {
+      jit_code_ = jit::compile_chunks(collect_chunks(), scalar_.arity);
+    }
+    rebind();
+  }
+
+  // (Re)point the prepared chunks into this instance's own CompiledMethod.
+  // Runs after construction and after every copy/move — PreparedChunk holds
+  // raw pointers into scalar_, which must never alias another instance.
+  void rebind() {
+    std::size_t idx = 0;
+    const auto next = [&](const Chunk& ch) {
+      PreparedChunk pc{&ch, jit_code_.fn(idx)};
+      ++idx;
+      return pc;
+    };
+    base_pc_ = next(scalar_.base);
+    reduce_pc_ = next(scalar_.reduce);
+    spawn_pcs_.clear();
+    spawn_pcs_.reserve(scalar_.spawns.size());
+    for (const CompiledSpawn& s : scalar_.spawns) {
+      PreparedSpawn ps;
+      ps.has_guard = s.has_guard;
+      if (s.has_guard) ps.guard = next(s.guard);
+      ps.args.reserve(s.args.size());
+      for (const Chunk& a : s.args) ps.args.push_back(next(a));
+      spawn_pcs_.push_back(std::move(ps));
+    }
   }
 
   CompiledMethod scalar_;
   CompiledMethod blocked_;
+  jit::ChunkSet jit_code_;
+  PreparedChunk base_pc_;
+  PreparedChunk reduce_pc_;
+  std::vector<PreparedSpawn> spawn_pcs_;
 };
 
 static_assert(tb::core::SimdProgram<CompiledSpecProgram>);

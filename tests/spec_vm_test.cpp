@@ -456,6 +456,82 @@ TEST(BlockVm, LanesAreIndependent) {
   EXPECT_EQ(r[3], 6);
 }
 
+// ---- totality / wrap / jump-chain edge cases ---------------------------------------
+
+// Assert AST eval, scalar VM (both dialects) and block VM lane 0 agree.
+void expect_tiers_agree(const Expr& e, int arity, std::span<const std::int64_t> params) {
+  const std::int64_t expect = spec::eval(e, params);
+  const Chunk sc = Compiler(CompileMode::Scalar).compile(e, arity);
+  const Chunk bc = Compiler(CompileMode::Blocked).compile(e, arity);
+  ASSERT_EQ(run_scalar(sc, params), expect);
+  ASSERT_EQ(run_scalar(bc, params), expect);
+  ASSERT_EQ(run_blocked_lane0(bc, params), expect);
+}
+
+TEST(EdgeCases, DivModTotalityAcrossTiers) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const auto div = node(Op::Div, param(0), param(1));
+  const auto mod = node(Op::Mod, param(0), param(1));
+  const std::int64_t cases[][2] = {
+      {kMin, -1},  // the hardware-trap pair: wraps to kMin / 0
+      {kMax, -1},  {kMin, 1}, {7, 0}, {-7, 0}, {kMin, 0}, {0, kMin}, {kMax, kMax},
+  };
+  for (const auto& c : cases) {
+    const std::int64_t params[] = {c[0], c[1]};
+    expect_tiers_agree(*div, 2, params);
+    expect_tiers_agree(*mod, 2, params);
+    // Oracle values for the trap pair, straight from §5's total semantics.
+    if (c[0] == kMin && c[1] == -1) {
+      EXPECT_EQ(spec::eval(*div, params), kMin);
+      EXPECT_EQ(spec::eval(*mod, params), 0);
+    }
+  }
+}
+
+TEST(EdgeCases, ShlBeyondVerifierBoundIsRejected) {
+  // The strength-reduction window is 0..62; 63 and beyond (where native shl
+  // semantics diverge from wrap_shl) must never reach an execution tier.
+  for (const int amount : {63, 64, 100}) {
+    Chunk ch;
+    ch.emit(OpCode::PushConst, ch.add_const(1));
+    ch.emit(OpCode::Shl, amount);
+    ch.emit(OpCode::Return);
+    EXPECT_FALSE(ch.verify(0).ok) << "Shl " << amount;
+  }
+  // Shl 62 (p0 * 2^62) is admitted and wraps identically everywhere.
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const auto e = node(Op::Mul, param(0), konst(std::int64_t{1} << 62));
+  for (const std::int64_t v : {std::int64_t{1}, std::int64_t{3}, std::int64_t{-1}, kMin, kMax}) {
+    const std::int64_t params[] = {v};
+    expect_tiers_agree(*e, 1, params);
+  }
+}
+
+TEST(EdgeCases, NestedShortCircuitJumpChains) {
+  // (p0 && (p1 || (p2 && p3))) || (p1 && p2): the scalar dialect lowers this
+  // to nested forward jumps whose targets land on other jumps' targets.
+  const auto e = node(Op::Or,
+                      node(Op::And, param(0),
+                           node(Op::Or, param(1), node(Op::And, param(2), param(3)))),
+                      node(Op::And, param(1), param(2)));
+  const Chunk sc = Compiler(CompileMode::Scalar).compile(*e, 4);
+  ASSERT_TRUE(sc.has_jumps());
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t vals[] = {0, 1, -1, kMin};
+  for (const std::int64_t a : vals) {
+    for (const std::int64_t b : vals) {
+      for (const std::int64_t c : vals) {
+        for (const std::int64_t d : vals) {
+          const std::int64_t params[] = {a, b, c, d};
+          expect_tiers_agree(*e, 4, params);
+        }
+      }
+    }
+  }
+}
+
 // ---- compiled method / end-to-end ---------------------------------------------------
 
 constexpr const char* kFib = R"(
