@@ -65,16 +65,21 @@ int main(int argc, char** argv) {
 
   // Hybrid executor: deterministic static 2-chunk partition, re-expansion
   // threshold swept over the same exponents.  Merged + per-worker records.
+  // Traversal benches pin the W=4 dispatch table: these records gate against
+  // bench/baselines/ at --require-all, and the runtime-dispatched width would
+  // otherwise vary with the CI runner's ISA generation (task-block benches
+  // run at their compile-time width and take lanes=0).
   tb::rt::ForkJoinPool pool2(2);
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name()) || !b->has_hybrid()) continue;
+    const int lanes = b->hybrid_fixed_width() ? 0 : 4;
     for (int e = 0; e <= max_exp; ++e) {
       const std::size_t block = 1ull << e;
       tb::rt::HybridOptions opt;
       opt.t_reexp = block;
       opt.static_partition = true;
       tb::core::PerWorkerStats pw;
-      (void)b->run_hybrid(pool2, opt, &pw);
+      (void)b->run_hybrid(pool2, opt, &pw, lanes);
       const double u = pw.merged().simd_utilization();
       std::printf("%s,hybrid,%zu,%.4f\n", b->name().c_str(), block, u);
       const std::string variant = "block=" + std::to_string(block);

@@ -10,10 +10,12 @@
 //              virtual cores — this reproduces the paper's scaling shape
 //              independent of the host (DESIGN.md §3).  Deterministic; the
 //              nightly gate diffs these records at threshold 0.
-//   hybrid     the cores×lanes sweep of the hybrid executor: engine width
-//              W ∈ {4, 8} × worker count, wall-clock speedup vs each
-//              width's own 1-worker run.  Shows the two parallelism
-//              dimensions composing — the paper's headline claim.
+//   hybrid     the cores×lanes sweep of the hybrid executor: one rung per
+//              runnable ISA dispatch table (sse2:w4 / avx2:w8 / avx512:w16,
+//              whatever this host + build provide) × worker count,
+//              wall-clock speedup vs each width's own 1-worker run.  Shows
+//              the two parallelism dimensions composing — the paper's
+//              headline claim — now with the ISA level as the lane axis.
 //
 // JSON records: measured/hybrid points as raw "seconds" timings; simulated
 // points as deterministic "speedup" ratios (host-independent, diffable
@@ -37,40 +39,53 @@ namespace {
 constexpr const char* kFigBenches = "graphcol,uts,minmax,barneshut,pointcorr,knn";
 constexpr const char* kHybridBenches = "barneshut,pointcorr,knn,minmaxdist,uts,nqueens";
 
-// Cores×lanes scaling of the hybrid executor: for each engine width, sweep
-// the worker count and report speedup over that width's own 1-worker run
-// (the lane dimension shows up as the gap between the W=4 and W=8 curves).
-// Task-block benchmarks (uts, nqueens) have a fixed lane width — their
-// vectorized expand kernel — so they contribute one curve at that width.
+// Cores×lanes scaling of the hybrid executor: one rung per runnable ISA
+// dispatch table, sweeping the worker count and reporting speedup over that
+// table's own 1-worker run (the lane dimension shows up as the gap between
+// the per-ISA curves — sse2:w4 vs avx2:w8 vs avx512:w16).  Task-block
+// benchmarks (uts, nqueens) have a fixed lane width — their vectorized
+// expand kernel — so they contribute one curve at that width.
 void run_hybrid_mode(const tbench::Flags& flags, tbench::Reporter& rep) {
   const std::string scale = flags.get("scale", "default");
   const int max_workers = static_cast<int>(flags.get_int("max-workers", 16));
   const std::string filter = flags.get("benchmarks", kHybridBenches);
   auto suite = tbench::make_suite(scale);
+  // The sweep covers every table compiled in AND runnable on this host;
+  // record labels carry the ISA name so curves from hosts with different
+  // ceilings never silently merge.
+  int num_tables = 0;
+  const auto* const* tables = tb::simd::available_tables(num_tables);
   for (auto& b : suite) {
     if (!tbench::selected(filter, b->name()) || !b->has_hybrid()) continue;
-    const std::vector<int> lane_sweep =
-        b->hybrid_fixed_width() ? std::vector<int>{0} : std::vector<int>{4, 8};
+    std::vector<int> lane_sweep;
+    if (b->hybrid_fixed_width()) {
+      lane_sweep.push_back(0);
+    } else {
+      for (int i = 0; i < num_tables; ++i) lane_sweep.push_back(tables[i]->width);
+    }
     for (const int lanes : lane_sweep) {
       // Threshold proportional to the *swept* width, not the build's
-      // natural width, so the W=4 vs W=8 gap isn't confounded by a hidden
+      // natural width, so the per-ISA gap isn't confounded by a hidden
       // tuning difference.  lanes == 0 means "the program's own width".
       const int width = lanes == 0 ? b->q() : lanes;
+      const tb::simd::KernelTable* kt =
+          lanes == 0 ? nullptr : tb::simd::kernels_for_width(lanes);
+      const std::string label = lanes == 0
+                                    ? "w" + std::to_string(width)
+                                    : std::string(kt->name) + ":w" + std::to_string(width);
       tb::rt::HybridOptions opt;
       opt.t_reexp = 4 * static_cast<std::size_t>(width);
-      const std::string pol = "hybrid:w" + std::to_string(width);
+      const std::string pol = "hybrid:" + label;
       double t1 = 0;
       for (int w = 1; w <= max_workers; w *= 2) {
         tb::rt::ForkJoinPool pool(w);
         tb::core::PerWorkerStats pw;
         const double t =
-            rep.add_timed(rep.make(b->name(), "hybrid:sweep", "w" + std::to_string(width),
-                                   "simd", w),
-                          1, [&] { (void)b->run_hybrid(pool, opt, &pw, lanes); });
+            rep.add_timed(rep.make(b->name(), "hybrid:sweep", label, "simd", w), 1,
+                          [&] { (void)b->run_hybrid(pool, opt, &pw, lanes); });
         if (w == 1) t1 = t;
         std::printf("%s,hybrid,%s,%d,%.2f\n", b->name().c_str(), pol.c_str(), w, t1 / t);
-        rep.add_metric(rep.make(b->name(), "hybrid:util", "w" + std::to_string(width),
-                                "simd", w),
+        rep.add_metric(rep.make(b->name(), "hybrid:util", label, "simd", w),
                        "utilization", pw.merged().simd_utilization());
       }
     }

@@ -34,11 +34,8 @@
 #include "apps/uts.hpp"
 #include "core/driver.hpp"
 #include "core/ideal_restart.hpp"
-#include "lockstep/lockstep_barneshut.hpp"
-#include "lockstep/lockstep_knn.hpp"
-#include "lockstep/lockstep_minmax.hpp"
-#include "lockstep/lockstep_pointcorr.hpp"
 #include "runtime/hybrid.hpp"
+#include "simd/dispatch.hpp"
 
 namespace tbench {
 
@@ -116,11 +113,14 @@ public:
   // Hybrid vector×multicore executor: lockstep SIMD blocks on the
   // work-stealing pool for the traversal benchmarks (runtime/hybrid.hpp),
   // strip-mined root blocks for the task-block benchmarks
-  // (core/hybrid_taskblock.hpp).  `lanes` selects the traversal engine
-  // width: 0 = the program's natural width (4 without AVX2, 8 with), 4/8 =
-  // the explicit instantiations of the cores×lanes sweep.  Task-block
-  // benchmarks have a fixed lane width (their vectorized expand kernel) and
-  // report hybrid_fixed_width() = true; they ignore `lanes` and t_reexp.
+  // (core/hybrid_taskblock.hpp).  The traversal benchmarks route through the
+  // runtime-ISA dispatch tables (simd/dispatch.hpp): `lanes` = 0 runs the
+  // active table (highest ISA the host + TB_SIMD_ISA allow), 4/8/16 force the
+  // sse2/avx2/avx512 table of the cores×lanes sweep.  Returns "" when the
+  // forced table is not compiled in or not runnable on this host — callers
+  // skip that rung.  Task-block benchmarks have a fixed lane width (their
+  // vectorized expand kernel) and report hybrid_fixed_width() = true; they
+  // ignore `lanes` and t_reexp.
   virtual bool has_hybrid() const { return false; }
   virtual bool hybrid_fixed_width() const { return false; }
   virtual std::string run_hybrid(tb::rt::ForkJoinPool&, const tb::rt::HybridOptions&,
@@ -376,14 +376,11 @@ public:
   bool has_hybrid() const override { return true; }
   std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
                          tb::core::PerWorkerStats* pw, int lanes) override {
+    const auto* kt =
+        lanes == 0 ? &tb::simd::kernels() : tb::simd::kernels_for_width(lanes);
+    if (kt == nullptr) return {};
     reset();
-    if (lanes == 4) {
-      return digest_of(tb::lockstep::hybrid_barneshut<4>(pool, prog_, theta_, opt, pw));
-    }
-    if (lanes == 8) {
-      return digest_of(tb::lockstep::hybrid_barneshut<8>(pool, prog_, theta_, opt, pw));
-    }
-    return digest_of(tb::lockstep::hybrid_barneshut<>(pool, prog_, theta_, opt, pw));
+    return digest_of(kt->hybrid_barneshut(pool, prog_, theta_, opt, pw));
   }
 
 private:
@@ -426,13 +423,10 @@ public:
   bool has_hybrid() const override { return true; }
   std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
                          tb::core::PerWorkerStats* pw, int lanes) override {
-    if (lanes == 4) {
-      return digest_of(tb::lockstep::hybrid_pointcorr<4>(pool, prog_, opt, pw));
-    }
-    if (lanes == 8) {
-      return digest_of(tb::lockstep::hybrid_pointcorr<8>(pool, prog_, opt, pw));
-    }
-    return digest_of(tb::lockstep::hybrid_pointcorr<>(pool, prog_, opt, pw));
+    const auto* kt =
+        lanes == 0 ? &tb::simd::kernels() : tb::simd::kernels_for_width(lanes);
+    if (kt == nullptr) return {};
+    return digest_of(kt->hybrid_pointcorr(pool, prog_, opt, pw));
   }
 
 private:
@@ -483,15 +477,12 @@ public:
   bool has_hybrid() const override { return true; }
   std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
                          tb::core::PerWorkerStats* pw, int lanes) override {
+    const auto* kt =
+        lanes == 0 ? &tb::simd::kernels() : tb::simd::kernels_for_width(lanes);
+    if (kt == nullptr) return {};
     tb::apps::KnnState state(points_.size(), k_);
     tb::apps::KnnProgram prog{&points_, &tree_, &state};
-    if (lanes == 4) {
-      tb::lockstep::hybrid_knn<4>(pool, prog, opt, pw);
-    } else if (lanes == 8) {
-      tb::lockstep::hybrid_knn<8>(pool, prog, opt, pw);
-    } else {
-      tb::lockstep::hybrid_knn<>(pool, prog, opt, pw);
-    }
+    kt->hybrid_knn(pool, prog, opt, pw);
     return digest_state(state);
   }
 
@@ -569,15 +560,12 @@ public:
   bool has_hybrid() const override { return true; }
   std::string run_hybrid(tb::rt::ForkJoinPool& pool, const tb::rt::HybridOptions& opt,
                          tb::core::PerWorkerStats* pw, int lanes) override {
+    const auto* kt =
+        lanes == 0 ? &tb::simd::kernels() : tb::simd::kernels_for_width(lanes);
+    if (kt == nullptr) return {};
     tb::apps::MinmaxDistState state(points_.size());
     tb::apps::MinmaxDistProgram prog{&points_, &tree_, &state};
-    if (lanes == 4) {
-      tb::lockstep::hybrid_minmaxdist<4>(pool, prog, opt, pw);
-    } else if (lanes == 8) {
-      tb::lockstep::hybrid_minmaxdist<8>(pool, prog, opt, pw);
-    } else {
-      tb::lockstep::hybrid_minmaxdist<>(pool, prog, opt, pw);
-    }
+    kt->hybrid_minmaxdist(pool, prog, opt, pw);
     return tb::apps::minmaxdist_digest(state);
   }
 

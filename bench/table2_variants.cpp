@@ -16,7 +16,11 @@
 // executor (lockstep SIMD blocks on the work-stealing pool): timed like the
 // other rungs, plus per-worker SIMD-utilization records ("utilization"
 // unit, excluded from the ratio gate — per-worker attribution under work
-// stealing is not deterministic).
+// stealing is not deterministic).  On top of the active-table rung they get
+// one forced-ISA rung per runnable dispatch table ("hybrid:isa=<name>"
+// policy, "seconds" records only — which tables exist varies by host, so
+// these stay out of the geomean ratio cells the nightly gate diffs); every
+// forced rung's digest is checked against the sequential answer.
 //
 // Flags: --scale=, --workers=, --benchmarks=, --reps=, --format=json, --out=
 #include <cstdio>
@@ -158,6 +162,27 @@ int main(int argc, char** argv) {
       }
       rep.add_metric(rep.make(b->name(), "hybrid:merged", "-", "simd", workers),
                      "utilization", pw.merged().simd_utilization());
+      // Forced-ISA rungs: one P-worker timing per runnable dispatch table,
+      // pinned by lane width so the record says which ISA produced it.
+      // "seconds" records only — the table set varies by host, so these
+      // never feed the gated geomean ratio cells.
+      if (!b->hybrid_fixed_width()) {
+        int num_tables = 0;
+        const auto* const* tables = tb::simd::available_tables(num_tables);
+        for (int ti = 0; ti < num_tables; ++ti) {
+          const tb::simd::KernelTable* kt = tables[ti];
+          const std::string pol = std::string("hybrid:isa=") + kt->name;
+          tb::rt::HybridOptions fopt;
+          fopt.t_reexp = 4 * static_cast<std::size_t>(kt->width);
+          rep.add_timed(rep.make(b->name(), pol, "-", "simd", workers), reps,
+                        [&] { got = b->run_hybrid(poolP, fopt, nullptr, kt->width); });
+          rep.set_last_digest(got);
+          if (got != expected) {
+            all_ok = false;
+            std::printf("MISMATCH %s %s P-worker\n", b->name().c_str(), pol.c_str());
+          }
+        }
+      }
       // The task-block hybrid path accumulates under its own geomean so the
       // long-gated traversal "hybrid" ratio record keeps a stable benchmark
       // composition across the nightly base-vs-HEAD join.

@@ -25,9 +25,9 @@
 
 namespace tb::lockstep {
 
-inline std::uint64_t lockstep_barneshut(const apps::BarnesHutProgram& prog, float theta,
-                                        LockstepStats* stats = nullptr) {
-  constexpr int W = apps::BarnesHutProgram::simd_width;
+template <int W = apps::BarnesHutProgram::simd_width>
+std::uint64_t lockstep_barneshut(const apps::BarnesHutProgram& prog, float theta,
+                                 LockstepStats* stats = nullptr) {
   using BF = simd::batch<float, W>;
   const spatial::Octree& tree = *prog.tree;
   const spatial::Bodies& bodies = *prog.bodies;

@@ -22,8 +22,8 @@
 
 namespace tb::lockstep {
 
-inline void lockstep_knn(const apps::KnnProgram& prog, LockstepStats* stats = nullptr) {
-  constexpr int W = apps::KnnProgram::simd_width;
+template <int W = apps::KnnProgram::simd_width>
+void lockstep_knn(const apps::KnnProgram& prog, LockstepStats* stats = nullptr) {
   using BF = simd::batch<float, W>;
   const spatial::KdTree& tree = *prog.tree;
   const spatial::Bodies& pts = *prog.points;

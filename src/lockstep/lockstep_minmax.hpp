@@ -58,9 +58,9 @@ inline std::uint32_t minmaxdist_gain_mask(const spatial::KdTree& tree, std::int3
 }
 
 // Classic lockstep (prior-work, data-parallel-only) kernel.
-inline void lockstep_minmaxdist(const apps::MinmaxDistProgram& prog,
-                                LockstepStats* stats = nullptr) {
-  constexpr int W = apps::MinmaxDistProgram::simd_width;
+template <int W = apps::MinmaxDistProgram::simd_width>
+void lockstep_minmaxdist(const apps::MinmaxDistProgram& prog,
+                         LockstepStats* stats = nullptr) {
   using BF = simd::batch<float, W>;
   const spatial::KdTree& tree = *prog.tree;
   const spatial::Bodies& pts = *prog.points;

@@ -24,9 +24,9 @@
 
 namespace tb::lockstep {
 
-inline std::uint64_t lockstep_pointcorr(const apps::PointCorrProgram& prog,
-                                        LockstepStats* stats = nullptr) {
-  constexpr int W = apps::PointCorrProgram::simd_width;
+template <int W = apps::PointCorrProgram::simd_width>
+std::uint64_t lockstep_pointcorr(const apps::PointCorrProgram& prog,
+                                 LockstepStats* stats = nullptr) {
   using BF = simd::batch<float, W>;
   const spatial::KdTree& tree = *prog.tree;
   const spatial::Bodies& pts = *prog.points;

@@ -22,6 +22,15 @@
 #define TB_HAVE_AVX2 0
 #endif
 
+// The AVX-512 fast paths require the F+BW+VL trio — the same set the
+// runtime probe (simd/isa.hpp) demands before selecting an avx512 dispatch
+// table, so compile-time and runtime gates can never disagree.
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+#define TB_HAVE_AVX512 1
+#else
+#define TB_HAVE_AVX512 0
+#endif
+
 namespace tb::simd {
 
 template <int W>
@@ -38,6 +47,12 @@ inline __m256i as_m256i(const B& b) {
 template <class B>
 inline B from_m256i(__m256i v) {
   return std::bit_cast<B>(v);
+}
+#endif
+#if TB_HAVE_AVX512
+template <class B>
+inline __m512i as_m512i(const B& b) {
+  return std::bit_cast<__m512i>(b);
 }
 #endif
 }  // namespace detail
@@ -181,6 +196,15 @@ inline std::uint32_t mask_loop(const batch<T, W>& a, const batch<T, W>& b, Pred&
 
 template <class T, int W>
 inline std::uint32_t cmp_eq(const batch<T, W>& a, const batch<T, W>& b) {
+#if TB_HAVE_AVX512
+  if constexpr (std::is_integral_v<T> && sizeof(T) == 4 && W == 16) {
+    return static_cast<std::uint32_t>(
+        _mm512_cmpeq_epi32_mask(detail::as_m512i(a), detail::as_m512i(b)));
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 8 && W == 8) {
+    return static_cast<std::uint32_t>(
+        _mm512_cmpeq_epi64_mask(detail::as_m512i(a), detail::as_m512i(b)));
+  }
+#endif
 #if TB_HAVE_AVX2
   if constexpr (std::is_integral_v<T> && sizeof(T) == 4 && W == 8) {
     return detail::movemask32(
@@ -200,6 +224,19 @@ inline std::uint32_t cmp_ne(const batch<T, W>& a, const batch<T, W>& b) {
 
 template <class T, int W>
 inline std::uint32_t cmp_lt(const batch<T, W>& a, const batch<T, W>& b) {
+#if TB_HAVE_AVX512
+  if constexpr (std::is_same_v<T, std::int32_t> && W == 16) {
+    return static_cast<std::uint32_t>(
+        _mm512_cmpgt_epi32_mask(detail::as_m512i(b), detail::as_m512i(a)));
+  } else if constexpr (std::is_same_v<T, float> && W == 16) {
+    const auto av = std::bit_cast<__m512>(a);
+    const auto bv = std::bit_cast<__m512>(b);
+    return static_cast<std::uint32_t>(_mm512_cmp_ps_mask(av, bv, _CMP_LT_OQ));
+  } else if constexpr (std::is_same_v<T, std::int64_t> && W == 8) {
+    return static_cast<std::uint32_t>(
+        _mm512_cmpgt_epi64_mask(detail::as_m512i(b), detail::as_m512i(a)));
+  }
+#endif
 #if TB_HAVE_AVX2
   if constexpr (std::is_same_v<T, std::int32_t> && W == 8) {
     return detail::movemask32(
@@ -234,6 +271,12 @@ inline std::uint32_t cmp_ge(const batch<T, W>& a, const batch<T, W>& b) {
 template <class T, int W>
 inline batch<T, W> select(std::uint32_t mask, const batch<T, W>& ifset,
                           const batch<T, W>& ifclear) {
+#if TB_HAVE_AVX512
+  if constexpr (sizeof(T) == 4 && W == 16) {
+    return std::bit_cast<batch<T, W>>(_mm512_mask_mov_epi32(
+        detail::as_m512i(ifclear), static_cast<__mmask16>(mask), detail::as_m512i(ifset)));
+  }
+#endif
   batch<T, W> r;
   for (int i = 0; i < W; ++i) r.lane[i] = (mask >> i) & 1u ? ifset.lane[i] : ifclear.lane[i];
   return r;
@@ -244,6 +287,21 @@ inline batch<T, W> select(std::uint32_t mask, const batch<T, W>& ifset,
 // elements with 4-byte indices; everything else uses the scalar loop.
 template <class T, int W>
 inline batch<T, W> gather(const T* base, const batch<std::int32_t, W>& idx) {
+#if TB_HAVE_AVX512
+  // The all-ones-mask gather forms: the plain _mm512_i32gather_* intrinsics
+  // source their masked-off lanes from an "undefined" vector, which trips
+  // -Wmaybe-uninitialized on GCC; with a full mask the source never shows
+  // through, so zero is both quiet and equivalent.
+  if constexpr (std::is_same_v<T, float> && W == 16) {
+    return std::bit_cast<batch<T, W>>(_mm512_mask_i32gather_ps(
+        _mm512_setzero_ps(), static_cast<__mmask16>(0xffff), detail::as_m512i(idx), base,
+        sizeof(float)));
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 4 && W == 16) {
+    return std::bit_cast<batch<T, W>>(_mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), static_cast<__mmask16>(0xffff), detail::as_m512i(idx), base,
+        sizeof(T)));
+  }
+#endif
 #if TB_HAVE_AVX2
   if constexpr (std::is_same_v<T, float> && W == 8) {
     return std::bit_cast<batch<T, W>>(
@@ -294,6 +352,10 @@ inline Acc reduce_add_masked(std::uint32_t mask, const batch<T, W>& v) {
 // Natural vector width for a lane type on the compiled-for ISA: how many
 // lanes of T fit in the widest available vector register (256-bit with AVX2,
 // 128-bit baseline).  This is the Q the paper parameterizes schedulers with.
+// It is deliberately a *compile-time* property of the current translation
+// unit — the runtime-selected width of a one-binary-many-hosts build lives
+// in the dispatch tables (simd/dispatch.hpp), whose per-ISA translation
+// units instantiate the kernels at W ∈ {4, 8, 16} explicitly.
 template <class T>
 inline constexpr int natural_width = TB_HAVE_AVX2 ? static_cast<int>(32 / sizeof(T))
                                                   : static_cast<int>(16 / sizeof(T));

@@ -67,9 +67,31 @@ inline constexpr CompactLut4 kCompactLut4 = make_compact_lut4();
 
 // Writes the lanes of `v` whose mask bit is set, contiguously, to `dst`.
 // Lane order is preserved (stable).  Returns the number of lanes written.
+//
+// Rungs, best first: AVX-512 masked VPCOMPRESS (a single compressing store,
+// no table lookup — and the only rung wide enough for W=16), the AVX2
+// table-driven VPERMD, the scalar bit-scan loop.  All three implement the
+// same stable left-pack, so digests never depend on which rung ran; the
+// AVX-512 rung stores only popcount(mask) elements where VPERMD stores a
+// full vector, both within the contract's W-slot slack.
 template <class T, int W>
 inline int compact_store(T* dst, std::uint32_t mask, const batch<T, W>& v) {
   mask &= mask_all<W>;
+#if TB_HAVE_AVX512
+  if constexpr (sizeof(T) == 4 && W == 16) {
+    _mm512_mask_compressstoreu_epi32(dst, static_cast<__mmask16>(mask),
+                                     detail::as_m512i(v));
+    return std::popcount(mask);
+  } else if constexpr (sizeof(T) == 4 && W == 8) {
+    _mm256_mask_compressstoreu_epi32(dst, static_cast<__mmask8>(mask),
+                                     detail::as_m256i(v));
+    return std::popcount(mask);
+  } else if constexpr (sizeof(T) == 8 && W == 4) {
+    _mm256_mask_compressstoreu_epi64(dst, static_cast<__mmask8>(mask),
+                                     detail::as_m256i(v));
+    return std::popcount(mask);
+  }
+#endif
 #if TB_HAVE_AVX2
   if constexpr (sizeof(T) == 4 && W == 8) {
     const __m256i perm =

@@ -1,0 +1,85 @@
+// Dispatch-table registry: binds the per-ISA tables (compiled in their own
+// flag-isolated TUs) to the runtime selection rules.  Compiled under
+// baseline flags — this TU must stay executable on any host the binary
+// reaches, which is also why the per-ISA tables are reached through
+// declarations only.
+//
+// Which tables exist is a build-time fact (TB_DISPATCH_HAVE_* from CMake:
+// compiler support, x86 target, TASKBATCH_DISPATCH_* options); which are
+// *runnable* folds in the CPUID probe.  kernels() additionally folds in the
+// TB_SIMD_ISA override via active_isa().
+#include "simd/dispatch.hpp"
+
+namespace tb::simd {
+
+namespace sse2_impl {
+const KernelTable& table();
+}
+#if TB_DISPATCH_HAVE_AVX2
+namespace avx2_impl {
+const KernelTable& table();
+}
+#endif
+#if TB_DISPATCH_HAVE_AVX512
+namespace avx512_impl {
+const KernelTable& table();
+}
+#endif
+
+const KernelTable* kernels_for(Isa isa) {
+  if (isa > detect_isa()) return nullptr;  // compiled in or not, the host can't run it
+  switch (isa) {
+    case Isa::sse2:
+      return &sse2_impl::table();
+    case Isa::avx2:
+#if TB_DISPATCH_HAVE_AVX2
+      return &avx2_impl::table();
+#else
+      return nullptr;
+#endif
+    case Isa::avx512:
+#if TB_DISPATCH_HAVE_AVX512
+      return &avx512_impl::table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const KernelTable* kernels_for_width(int width) {
+  switch (width) {
+    case 4: return kernels_for(Isa::sse2);
+    case 8: return kernels_for(Isa::avx2);
+    case 16: return kernels_for(Isa::avx512);
+    default: return nullptr;
+  }
+}
+
+const KernelTable& kernels() {
+  // Selected once: highest compiled level at or below active_isa(), walking
+  // down past levels the build left out (e.g. an AVX-512 host running a
+  // binary whose compiler lacked -mavx512f support).
+  static const KernelTable* const active = [] {
+    for (int i = static_cast<int>(active_isa()); i > 0; --i) {
+      if (const KernelTable* t = kernels_for(static_cast<Isa>(i))) return t;
+    }
+    return &sse2_impl::table();
+  }();
+  return *active;
+}
+
+const KernelTable* const* available_tables(int& count) {
+  static const KernelTable* tables[3];
+  static const int n = [] {
+    int k = 0;
+    for (int i = 0; i <= static_cast<int>(Isa::avx512); ++i) {
+      if (const KernelTable* t = kernels_for(static_cast<Isa>(i))) tables[k++] = t;
+    }
+    return k;
+  }();
+  count = n;
+  return tables;
+}
+
+}  // namespace tb::simd

@@ -1,0 +1,13 @@
+// W=8 dispatch kernels under -mavx2 -mno-fma -ffp-contract=off (CMake).
+// FMA stays off so per-lane float sequences are the same IEEE ops as the
+// other widths — the bit-identical-digests contract of the dispatch-
+// equivalence matrix.
+#define TB_DISPATCH_ISA_NS avx2_impl
+#define TB_DISPATCH_ISA_ENUM avx2
+#define TB_DISPATCH_WIDTH 8
+
+#include "simd/dispatch_table.ipp"
+
+#if !TB_HAVE_AVX2
+#error "dispatch_avx2.cpp compiled without AVX2 — check the dispatch CMake flags"
+#endif

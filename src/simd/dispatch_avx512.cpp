@@ -1,0 +1,15 @@
+// W=16 dispatch kernels under -mavx512f -mavx512bw -mavx512vl -mno-fma
+// -ffp-contract=off (CMake) — the top rung: 16-lane traversal frames with
+// mask-register compares and VPCOMPRESS streaming compaction
+// (simd/compact.hpp).  Runtime selection requires the host to report the
+// same F+BW+VL trio (simd/isa.hpp), so these kernels never execute on a
+// narrower machine.
+#define TB_DISPATCH_ISA_NS avx512_impl
+#define TB_DISPATCH_ISA_ENUM avx512
+#define TB_DISPATCH_WIDTH 16
+
+#include "simd/dispatch_table.ipp"
+
+#if !TB_HAVE_AVX512
+#error "dispatch_avx512.cpp compiled without AVX-512 F+BW+VL — check the dispatch CMake flags"
+#endif

@@ -1,0 +1,17 @@
+// W=4 dispatch kernels under baseline flags (plain x86-64 = SSE2; the
+// portable scalar batch loops elsewhere).  Always compiled — this is the
+// table `kernels()` falls back to on any host — and deliberately *without*
+// -march=native even in native builds, so a forced-SSE2 run executes
+// genuinely AVX-free kernel code.
+#define TB_DISPATCH_ISA_NS sse2_impl
+#define TB_DISPATCH_ISA_ENUM sse2
+#define TB_DISPATCH_WIDTH 4
+
+#include "simd/dispatch_table.ipp"
+
+// The dispatch build must not hand this TU AVX flags by accident: the whole
+// point of the per-ISA OBJECT libraries is that the baseline table carries
+// baseline codegen.
+#if TB_HAVE_AVX2
+#error "dispatch_sse2.cpp compiled with AVX2 enabled — check the dispatch CMake flags"
+#endif

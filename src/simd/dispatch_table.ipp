@@ -1,0 +1,110 @@
+// Shared body of the per-ISA dispatch translation units.
+//
+// Each of dispatch_sse2.cpp / dispatch_avx2.cpp / dispatch_avx512.cpp
+// defines TB_DISPATCH_ISA_NS (the implementation namespace), the matching
+// TB_DISPATCH_ISA_ENUM, and TB_DISPATCH_WIDTH, then includes this file —
+// the only place the width-templated kernels are instantiated at an
+// explicit W.  The wrappers live in an anonymous namespace so every TU's
+// table points at its own flag-matched code; only `table()` is exported
+// (picked up by simd/dispatch.cpp).
+//
+// Keep this file free of width-independent logic: anything added here is
+// compiled under per-ISA flags three times, and a shared helper that lands
+// in a COMDAT section relies on the sse2-first link order to stay
+// baseline-codegen (see simd/dispatch.hpp).
+
+#if !defined(TB_DISPATCH_ISA_NS) || !defined(TB_DISPATCH_ISA_ENUM) || \
+    !defined(TB_DISPATCH_WIDTH)
+#error "dispatch_table.ipp requires TB_DISPATCH_ISA_NS / TB_DISPATCH_ISA_ENUM / TB_DISPATCH_WIDTH"
+#endif
+
+#include "lockstep/lockstep_barneshut.hpp"
+#include "lockstep/lockstep_knn.hpp"
+#include "lockstep/lockstep_minmax.hpp"
+#include "lockstep/lockstep_pointcorr.hpp"
+#include "simd/compact.hpp"
+#include "simd/dispatch.hpp"
+
+namespace tb::simd::TB_DISPATCH_ISA_NS {
+namespace {
+
+constexpr int kW = TB_DISPATCH_WIDTH;
+
+int compact_u32(std::uint32_t* dst, std::uint32_t mask, const std::uint32_t* src) {
+  return compact_store<std::uint32_t, kW>(dst, mask, batch<std::uint32_t, kW>::loadu(src));
+}
+
+void ls_knn(const apps::KnnProgram& prog, lockstep::LockstepStats* stats) {
+  lockstep::lockstep_knn<kW>(prog, stats);
+}
+std::uint64_t ls_pointcorr(const apps::PointCorrProgram& prog,
+                           lockstep::LockstepStats* stats) {
+  return lockstep::lockstep_pointcorr<kW>(prog, stats);
+}
+std::uint64_t ls_barneshut(const apps::BarnesHutProgram& prog, float theta,
+                           lockstep::LockstepStats* stats) {
+  return lockstep::lockstep_barneshut<kW>(prog, theta, stats);
+}
+void ls_minmaxdist(const apps::MinmaxDistProgram& prog, lockstep::LockstepStats* stats) {
+  lockstep::lockstep_minmaxdist<kW>(prog, stats);
+}
+
+void bl_knn(const apps::KnnProgram& prog, std::size_t t_reexp, core::ExecStats* stats) {
+  lockstep::blocked_knn<kW>(prog, t_reexp, stats);
+}
+std::uint64_t bl_pointcorr(const apps::PointCorrProgram& prog, std::size_t t_reexp,
+                           core::ExecStats* stats) {
+  return lockstep::blocked_pointcorr<kW>(prog, t_reexp, stats);
+}
+std::uint64_t bl_barneshut(const apps::BarnesHutProgram& prog, float theta,
+                           std::size_t t_reexp, core::ExecStats* stats) {
+  return lockstep::blocked_barneshut<kW>(prog, theta, t_reexp, stats);
+}
+void bl_minmaxdist(const apps::MinmaxDistProgram& prog, std::size_t t_reexp,
+                   core::ExecStats* stats) {
+  lockstep::blocked_minmaxdist<kW>(prog, t_reexp, stats);
+}
+
+void hy_knn(rt::ForkJoinPool& pool, const apps::KnnProgram& prog,
+            const rt::HybridOptions& opt, core::PerWorkerStats* stats) {
+  lockstep::hybrid_knn<kW>(pool, prog, opt, stats);
+}
+std::uint64_t hy_pointcorr(rt::ForkJoinPool& pool, const apps::PointCorrProgram& prog,
+                           const rt::HybridOptions& opt, core::PerWorkerStats* stats) {
+  return lockstep::hybrid_pointcorr<kW>(pool, prog, opt, stats);
+}
+std::uint64_t hy_barneshut(rt::ForkJoinPool& pool, const apps::BarnesHutProgram& prog,
+                           float theta, const rt::HybridOptions& opt,
+                           core::PerWorkerStats* stats) {
+  return lockstep::hybrid_barneshut<kW>(pool, prog, theta, opt, stats);
+}
+void hy_minmaxdist(rt::ForkJoinPool& pool, const apps::MinmaxDistProgram& prog,
+                   const rt::HybridOptions& opt, core::PerWorkerStats* stats) {
+  lockstep::hybrid_minmaxdist<kW>(pool, prog, opt, stats);
+}
+
+}  // namespace
+
+const KernelTable& table() {
+  static const KernelTable t{
+      Isa::TB_DISPATCH_ISA_ENUM,
+      kW,
+      to_string(Isa::TB_DISPATCH_ISA_ENUM),
+      &compact_u32,
+      &ls_knn,
+      &ls_pointcorr,
+      &ls_barneshut,
+      &ls_minmaxdist,
+      &bl_knn,
+      &bl_pointcorr,
+      &bl_barneshut,
+      &bl_minmaxdist,
+      &hy_knn,
+      &hy_pointcorr,
+      &hy_barneshut,
+      &hy_minmaxdist,
+  };
+  return t;
+}
+
+}  // namespace tb::simd::TB_DISPATCH_ISA_NS

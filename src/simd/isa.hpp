@@ -1,0 +1,139 @@
+// Runtime ISA detection and the process-wide active SIMD level.
+//
+// `natural_width` (batch.hpp) keys the kernel templates off the *compiled*
+// ISA; this header supplies the *runtime* half of multi-ISA dispatch: a
+// CPUID probe classifying the host as SSE2 / AVX2 / AVX-512 and a
+// process-wide `active_isa()` selected once at first use.  The selection is
+// overridable through the `TB_SIMD_ISA` environment variable (values
+// `sse2`, `avx2`, `avx512`) — the same kill-switch shape as `TB_SPEC_JIT`:
+// lowering below the detected level always works (that is how the forced-ISA
+// CTest variants pin a binary to its SSE2 tables), requesting a level the
+// host cannot execute clamps back down with a one-time stderr notice, and an
+// unparseable value is ignored the same way.
+//
+// The probe checks OS state as well as CPU feature bits: AVX requires
+// OSXSAVE + XCR0 YMM enablement, AVX-512 additionally the opmask/ZMM/Hi16
+// XCR0 bits and the F+BW+VL feature trio the dispatch kernels are compiled
+// against (dispatch.hpp).  Non-x86 builds detect `sse2`, which names the
+// portable baseline tables (scalar `simd::batch` loops), not the x86 ISA.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define TB_ISA_X86 1
+#else
+#define TB_ISA_X86 0
+#endif
+
+namespace tb::simd {
+
+// Ordered: each level is a strict superset of the previous, so levels
+// compare with <.  `sse2` doubles as the portable baseline on non-x86.
+enum class Isa : int { sse2 = 0, avx2 = 1, avx512 = 2 };
+
+inline constexpr const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::sse2: return "sse2";
+    case Isa::avx2: return "avx2";
+    case Isa::avx512: return "avx512";
+  }
+  return "?";
+}
+
+inline std::optional<Isa> parse_isa(std::string_view s) {
+  if (s == "sse2") return Isa::sse2;
+  if (s == "avx2") return Isa::avx2;
+  if (s == "avx512") return Isa::avx512;
+  return std::nullopt;
+}
+
+namespace detail {
+
+#if TB_ISA_X86
+// XGETBV encoded as bytes so no -mxsave compile flag is needed in baseline
+// translation units (the instruction itself predates AVX-512 and is legal
+// whenever CPUID reports OSXSAVE).
+inline std::uint64_t xgetbv0() {
+  std::uint32_t eax, edx;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+inline Isa probe_isa() {
+#if TB_ISA_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return Isa::sse2;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return Isa::sse2;
+  const std::uint64_t xcr0 = xgetbv0();
+  if ((xcr0 & 0x6) != 0x6) return Isa::sse2;  // XMM + YMM state not OS-enabled
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return Isa::sse2;
+  const bool avx2 = (ebx & (1u << 5)) != 0;
+  if (!avx2) return Isa::sse2;
+  // AVX-512: opmask (bit 5), ZMM_Hi256 (bit 6), Hi16_ZMM (bit 7) OS state
+  // plus the F+BW+VL trio the W=16 dispatch kernels are compiled with.
+  const bool zmm_os = (xcr0 & 0xE6) == 0xE6;
+  const bool f = (ebx & (1u << 16)) != 0;
+  const bool bw = (ebx & (1u << 30)) != 0;
+  const bool vl = (ebx & (1u << 31)) != 0;
+  if (zmm_os && f && bw && vl) return Isa::avx512;
+  return Isa::avx2;
+#else
+  return Isa::sse2;
+#endif
+}
+
+}  // namespace detail
+
+// Host capability, memoized (CPUID is cheap but called from hot-path-ish
+// dispatch helpers).
+inline Isa detect_isa() {
+  static const Isa detected = detail::probe_isa();
+  return detected;
+}
+
+// Pure resolution of (detected level, TB_SIMD_ISA value) → active level;
+// split out so the clamping rules are unit-testable without setenv games.
+// Returns the level plus whether the override was honored as given (false
+// means clamped or unparseable — the caller may want to warn).
+struct IsaResolution {
+  Isa active;
+  bool honored;
+};
+
+inline IsaResolution resolve_active(Isa detected, const char* env) {
+  if (env == nullptr || *env == '\0') return {detected, true};
+  const auto parsed = parse_isa(env);
+  if (!parsed) return {detected, false};
+  if (*parsed > detected) return {detected, false};  // cannot raise above the host
+  return {*parsed, true};
+}
+
+// Process-wide active ISA level, selected once at first use from the CPUID
+// probe and the TB_SIMD_ISA override.  Dispatch tables above this level are
+// never selected implicitly (simd/dispatch.hpp).
+inline Isa active_isa() {
+  static const Isa active = [] {
+    const char* env = std::getenv("TB_SIMD_ISA");
+    const IsaResolution r = resolve_active(detect_isa(), env);
+    if (!r.honored) {
+      std::fprintf(stderr,
+                   "taskbatch: TB_SIMD_ISA=%s not usable on this host (detected %s); "
+                   "using %s\n",
+                   env, to_string(detect_isa()), to_string(r.active));
+    }
+    return r.active;
+  }();
+  return active;
+}
+
+}  // namespace tb::simd
