@@ -34,6 +34,18 @@
 //                  deliberately ungated: shed queries depend on host
 //                  stalls, so gating them would flake).  No digest — a
 //                  shed query's k-best list is legitimately unserved.
+//   isa            per-ISA serving rungs: one closed-loop knn run and one
+//                  multi-kernel run per runnable dispatch table, every
+//                  lane forced to that table's width
+//                  (ServerOptions::forced_width), variants carrying the
+//                  "isa=<name>" identity fragment (tbench::isa_variant) so
+//                  the nightly same-host pair can see serving-throughput
+//                  deltas per ISA.  Digest-checked per table — serving
+//                  must be bit-identical across every ISA level.
+//
+// All runners are table-driven (serve/pool_runner.hpp RunnerFactory): a
+// lane executes whatever kernel table it was bound to at registration, so
+// the default rungs follow TB_SIMD_ISA and the isa rungs pin each level.
 //
 // Each digest-checked run serves every query id exactly once (round-robin
 // over the dataset), so knn's k-best digest is comparable against the
@@ -49,7 +61,7 @@
 //
 // Output: CSV `benchmark,load,batch,p50_us,p99_us,p999_us,qps`.
 // Flags: --scale=test|default|paper, --workers=4,
-//        --benchmarks=knn,pointcorr,multi,adaptive,deadline,
+//        --benchmarks=knn,pointcorr,multi,adaptive,deadline,isa,
 //        --max-wait-us=1000, --format=json, --out=
 #include <algorithm>
 #include <cstdint>
@@ -62,10 +74,8 @@
 #include "apps/knn.hpp"
 #include "apps/minmaxdist.hpp"
 #include "apps/pointcorr.hpp"
+#include "bench/suite.hpp"
 #include "bench/support/report.hpp"
-#include "lockstep/lockstep_knn.hpp"
-#include "lockstep/lockstep_minmax.hpp"
-#include "lockstep/lockstep_pointcorr.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/hybrid.hpp"
 #include "serve/latency.hpp"
@@ -74,6 +84,7 @@
 #include "serve/pool_runner.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
+#include "simd/dispatch.hpp"
 #include "spatial/kdtree.hpp"
 
 namespace {
@@ -98,13 +109,16 @@ struct RunResult {
   std::string digest;
 };
 
-// Serves every query id in [0, id_space) exactly once through `runner`,
+// Serves every query id in [0, id_space) exactly once through a runner
+// built from the resolved kernel table (forced_width 0 = active table),
 // under the given load and batch policy, and summarizes what came back.
-RunResult run_serve(tb::serve::QueryServer::BatchRunner runner, std::int32_t id_space,
-                    double rate_qps, const tb::serve::BatchPolicy& policy) {
+RunResult run_serve(const tb::serve::RunnerFactory& factory, std::int32_t id_space,
+                    double rate_qps, const tb::serve::BatchPolicy& policy,
+                    int forced_width = 0) {
   tb::serve::ServerOptions sopt;
   sopt.policy = policy;
-  tb::serve::QueryServer server(sopt, std::move(runner));
+  sopt.forced_width = forced_width;
+  tb::serve::QueryServer server(sopt, factory);
   server.start();
   tb::serve::LoadGenOptions lg;
   lg.rate_qps = rate_qps;
@@ -157,6 +171,116 @@ void print_row(const std::string& bench, const char* load, std::size_t batch,
               r.lat.p50 * 1e6, r.lat.p99 * 1e6, r.lat.p999 * 1e6, r.qps);
 }
 
+// Sequential-oracle digests the multi-kernel rungs check against.
+struct MultiOracles {
+  std::string knn;
+  std::uint64_t pc = 0;
+  std::string mm;
+};
+
+MultiOracles multi_oracles(const tb::spatial::Bodies& points,
+                           const tb::spatial::KdTree& tree, const ScaleConfig& cfg) {
+  MultiOracles o;
+  {
+    tb::apps::KnnState state(points.size(), cfg.k);
+    tb::apps::KnnProgram prog{&points, &tree, &state};
+    tb::apps::knn_sequential(prog);
+    o.knn = knn_digest(state, points.size());
+  }
+  tb::apps::PointCorrProgram pc_prog{&points, &tree, cfg.rad2};
+  o.pc = tb::apps::pointcorr_sequential(pc_prog);
+  {
+    tb::apps::MinmaxDistState state(points.size());
+    tb::apps::MinmaxDistProgram prog{&points, &tree, &state};
+    tb::apps::minmaxdist_sequential(prog);
+    o.mm = tb::apps::minmaxdist_digest(state);
+  }
+  return o;
+}
+
+// One multi-kernel closed-loop rung: knn + pointcorr + minmaxdist lanes
+// over one pool, one producer per lane, every lane forced to
+// `forced_width` (0 = the active table — shared by load=multi and the
+// per-ISA isa rungs).  Records per-kernel latency/qps under `variant`;
+// returns false on any digest mismatch.
+bool run_multi_rung(tbench::Reporter& rep, tb::rt::ForkJoinPool& pool,
+                    const tb::spatial::Bodies& points, const tb::spatial::KdTree& tree,
+                    const ScaleConfig& cfg, const MultiOracles& oracle, std::size_t batch,
+                    std::int64_t max_wait_ns, int forced_width, const std::string& variant,
+                    const char* load_label, int workers) {
+  const auto n = static_cast<std::int32_t>(points.size());
+  tb::apps::KnnState knn_state(points.size(), cfg.k);
+  tb::apps::KnnProgram knn_prog{&points, &tree, &knn_state};
+  tb::apps::PointCorrProgram pc_prog{&points, &tree, cfg.rad2};
+  tb::apps::MinmaxDistState mm_state(points.size());
+  tb::apps::MinmaxDistProgram mm_prog{&points, &tree, &mm_state};
+  std::vector<tb::rt::Padded<std::uint64_t>> pc_parts(
+      static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
+
+  tb::serve::ServerOptions sopt;
+  sopt.forced_width = forced_width;
+  tb::serve::QueryServer server(sopt);
+  tb::serve::KernelOptions kopt;
+  kopt.policy = {batch, batch == 1 ? 0 : max_wait_ns};
+  tb::rt::HybridOptions hopt;
+  const int width = forced_width != 0 ? forced_width : tb::simd::kernels().width;
+  hopt.t_reexp = 4 * static_cast<std::size_t>(width);
+  const int k_knn =
+      server.register_kernel("knn", kopt, tb::serve::knn_pool_runner(pool, hopt, knn_prog));
+  const int k_pc = server.register_kernel(
+      "pointcorr", kopt,
+      tb::serve::pointcorr_pool_runner(pool, hopt, pc_prog, pc_parts.data()));
+  const int k_mm = server.register_kernel(
+      "minmaxdist", kopt, tb::serve::minmaxdist_pool_runner(pool, hopt, mm_prog));
+
+  server.start();
+  // One closed-loop producer per kernel so the admission thread always
+  // sees a mixed stream — the EDF arbitration path, not three serial
+  // single-lane phases.
+  std::vector<std::thread> producers;
+  for (const int k : {k_knn, k_pc, k_mm}) {
+    producers.emplace_back([&server, k, n] {
+      tb::serve::LoadGenOptions lg;
+      lg.rate_qps = 0.0;
+      lg.total = static_cast<std::size_t>(n);
+      lg.id_space = n;
+      lg.round_robin = true;
+      lg.kernel = k;
+      tb::serve::generate_load(server, lg);
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.stop();
+
+  std::uint64_t pc_total = 0;
+  for (const auto& p : pc_parts) pc_total += p.value;
+  const struct {
+    const char* bench;
+    int k;
+    std::string digest;
+    std::string want;
+  } lanes[] = {
+      {"knn", k_knn, knn_digest(knn_state, points.size()), oracle.knn},
+      {"pointcorr", k_pc, std::to_string(pc_total), std::to_string(oracle.pc)},
+      {"minmaxdist", k_mm, tb::apps::minmaxdist_digest(mm_state), oracle.mm},
+  };
+  for (const auto& lane : lanes) {
+    if (lane.digest != lane.want) {
+      std::fprintf(stderr, "error: %s multi-kernel serve digest mismatch (%s)\n",
+                   lane.bench, variant.c_str());
+      return false;
+    }
+    RunResult r;
+    r.lat = tb::serve::summarize_latencies(server.latencies_s(lane.k));
+    const double busy = server.busy_seconds(lane.k);
+    r.qps = busy > 0 ? static_cast<double>(server.completed(lane.k)) / busy : 0.0;
+    r.digest = lane.digest;
+    record(rep, lane.bench, variant, workers, r);
+    print_row(lane.bench, load_label, batch, r);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,13 +289,14 @@ int main(int argc, char** argv) {
   const ScaleConfig cfg = scale_config(rep.scale());
   const int workers = static_cast<int>(flags.get_int("workers", 4));
   const std::string filter =
-      flags.get("benchmarks", "knn,pointcorr,multi,adaptive,deadline");
+      flags.get("benchmarks", "knn,pointcorr,multi,adaptive,deadline,isa");
   const std::int64_t max_wait_ns = flags.get_int("max-wait-us", 1000) * 1000;
 
   tb::rt::ForkJoinPool pool(workers);
   tb::rt::HybridOptions opt;
-  using KnnEngine = tb::lockstep::BlockedTraversal<tb::apps::KnnProgram::simd_width>;
-  using PcEngine = tb::lockstep::BlockedTraversal<tb::apps::PointCorrProgram::simd_width>;
+  // All default rungs serve at the active table's width (TB_SIMD_ISA
+  // honored); re-expansion threshold follows the serving lane width.
+  const int active_width = tb::simd::kernels().width;
 
   std::printf("benchmark,load,batch,p50_us,p99_us,p999_us,qps\n");
 
@@ -182,7 +307,7 @@ int main(int argc, char** argv) {
     const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
     const auto tree = tb::spatial::KdTree::build(points, 16);
     const auto n = static_cast<std::int32_t>(points.size());
-    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+    opt.t_reexp = 4 * static_cast<std::size_t>(active_width);
     // Oracle digest for the per-run digest field.
     std::string oracle;
     {
@@ -198,13 +323,9 @@ int main(int argc, char** argv) {
         // offline result, so the digest must match the sequential oracle.
         tb::apps::KnnState state(points.size(), cfg.k);
         tb::apps::KnnProgram prog{&points, &tree, &state};
-        auto runner = tb::serve::make_pool_runner<KnnEngine>(
-            pool, opt, [&prog, &tree](const std::int32_t* ids, std::size_t count,
-                                      KnnEngine& engine) {
-              tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
-            });
         const tb::serve::BatchPolicy policy{batch, batch == 1 ? 0 : max_wait_ns};
-        RunResult r = run_serve(std::move(runner), n, rate, policy);
+        RunResult r =
+            run_serve(tb::serve::knn_pool_runner(pool, opt, prog), n, rate, policy);
         r.digest = knn_digest(state, points.size());
         if (r.digest != oracle) {
           std::fprintf(stderr, "error: knn serve digest mismatch (%s)\n",
@@ -230,7 +351,7 @@ int main(int argc, char** argv) {
     const auto tree = tb::spatial::KdTree::build(points, 16);
     const auto n = static_cast<std::int32_t>(points.size());
     tb::apps::PointCorrProgram prog{&points, &tree, cfg.rad2};
-    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::PointCorrProgram::simd_width);
+    opt.t_reexp = 4 * static_cast<std::size_t>(active_width);
     const std::uint64_t oracle = tb::apps::pointcorr_sequential(prog);
     for (const auto& [load, rate] : loads) {
       for (const std::size_t batch : cfg.batches) {
@@ -238,16 +359,10 @@ int main(int argc, char** argv) {
         // against false sharing (same idiom as hybrid_pointcorr).
         std::vector<tb::rt::Padded<std::uint64_t>> parts(
             static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
-        auto runner = tb::serve::make_pool_runner<PcEngine>(
-            pool, opt, [&prog, &tree, &parts](const std::int32_t* ids, std::size_t count,
-                                              PcEngine& engine) {
-              const auto slot =
-                  static_cast<std::size_t>(tb::rt::ForkJoinPool::worker_id());
-              parts[slot].value +=
-                  tb::lockstep::blocked_pointcorr_frame(prog, tree.root, ids, count, engine);
-            });
         const tb::serve::BatchPolicy policy{batch, batch == 1 ? 0 : max_wait_ns};
-        RunResult r = run_serve(std::move(runner), n, rate, policy);
+        RunResult r = run_serve(
+            tb::serve::pointcorr_pool_runner(pool, opt, prog, parts.data()), n, rate,
+            policy);
         std::uint64_t total = 0;
         for (const auto& p : parts) total += p.value;
         r.digest = std::to_string(total);
@@ -266,119 +381,55 @@ int main(int argc, char** argv) {
   if (tbench::selected(filter, "multi")) {
     const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
     const auto tree = tb::spatial::KdTree::build(points, 16);
-    const auto n = static_cast<std::int32_t>(points.size());
-    using MmEngine =
-        tb::lockstep::BlockedTraversal<tb::apps::MinmaxDistProgram::simd_width>;
+    const MultiOracles oracle = multi_oracles(points, tree, cfg);
+    for (const std::size_t batch : cfg.batches) {
+      if (!run_multi_rung(rep, pool, points, tree, cfg, oracle, batch, max_wait_ns,
+                          /*forced_width=*/0, variant_name("multi", batch), "multi",
+                          workers)) {
+        return 1;
+      }
+    }
+  }
 
-    // Sequential oracles for all three lanes.
-    std::string knn_oracle;
-    {
+  // ---- per-ISA rungs: every runnable table, lanes forced to its width -------
+  if (tbench::selected(filter, "isa")) {
+    const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
+    const auto tree = tb::spatial::KdTree::build(points, 16);
+    const auto n = static_cast<std::int32_t>(points.size());
+    const MultiOracles oracle = multi_oracles(points, tree, cfg);
+    // One representative batch size: the largest of the scale's ladder —
+    // the regime where lane width actually shows in throughput.
+    const std::size_t batch = cfg.batches.back();
+    int num_tables = 0;
+    const auto* const* tables = tb::simd::available_tables(num_tables);
+    for (int ti = 0; ti < num_tables; ++ti) {
+      const tb::simd::KernelTable* kt = tables[ti];
+      const std::string iv = tbench::isa_variant(*kt);
+      tb::rt::HybridOptions fopt;
+      fopt.t_reexp = 4 * static_cast<std::size_t>(kt->width);
+
+      // Closed-loop single-kernel knn at this table's width.
       tb::apps::KnnState state(points.size(), cfg.k);
       tb::apps::KnnProgram prog{&points, &tree, &state};
-      tb::apps::knn_sequential(prog);
-      knn_oracle = knn_digest(state, points.size());
-    }
-    tb::apps::PointCorrProgram pc_oracle_prog{&points, &tree, cfg.rad2};
-    const std::uint64_t pc_oracle = tb::apps::pointcorr_sequential(pc_oracle_prog);
-    std::string mm_oracle;
-    {
-      tb::apps::MinmaxDistState state(points.size());
-      tb::apps::MinmaxDistProgram prog{&points, &tree, &state};
-      tb::apps::minmaxdist_sequential(prog);
-      mm_oracle = tb::apps::minmaxdist_digest(state);
-    }
-
-    for (const std::size_t batch : cfg.batches) {
-      tb::apps::KnnState knn_state(points.size(), cfg.k);
-      tb::apps::KnnProgram knn_prog{&points, &tree, &knn_state};
-      tb::apps::PointCorrProgram pc_prog{&points, &tree, cfg.rad2};
-      tb::apps::MinmaxDistState mm_state(points.size());
-      tb::apps::MinmaxDistProgram mm_prog{&points, &tree, &mm_state};
-      std::vector<tb::rt::Padded<std::uint64_t>> pc_parts(
-          static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
-
-      tb::serve::ServerOptions sopt;
-      tb::serve::QueryServer server(sopt);
-      tb::serve::KernelOptions kopt;
-      kopt.policy = {batch, batch == 1 ? 0 : max_wait_ns};
-      tb::rt::HybridOptions kopt_hy = opt;
-      kopt_hy.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
-      const int k_knn = server.register_kernel(
-          "knn", kopt,
-          tb::serve::make_pool_runner<KnnEngine>(
-              pool, kopt_hy,
-              [&knn_prog, &tree](const std::int32_t* ids, std::size_t count,
-                                 KnnEngine& engine) {
-                tb::lockstep::blocked_knn_frame(knn_prog, tree.root, ids, count, engine);
-              }));
-      kopt_hy.t_reexp = 4 * static_cast<std::size_t>(tb::apps::PointCorrProgram::simd_width);
-      const int k_pc = server.register_kernel(
-          "pointcorr", kopt,
-          tb::serve::make_pool_runner<PcEngine>(
-              pool, kopt_hy,
-              [&pc_prog, &tree, &pc_parts](const std::int32_t* ids, std::size_t count,
-                                           PcEngine& engine) {
-                const auto slot =
-                    static_cast<std::size_t>(tb::rt::ForkJoinPool::worker_id());
-                pc_parts[slot].value += tb::lockstep::blocked_pointcorr_frame(
-                    pc_prog, tree.root, ids, count, engine);
-              }));
-      kopt_hy.t_reexp =
-          4 * static_cast<std::size_t>(tb::apps::MinmaxDistProgram::simd_width);
-      const int k_mm = server.register_kernel(
-          "minmaxdist", kopt,
-          tb::serve::make_pool_runner<MmEngine>(
-              pool, kopt_hy,
-              [&mm_prog, &tree](const std::int32_t* ids, std::size_t count,
-                                MmEngine& engine) {
-                tb::lockstep::blocked_minmaxdist_frame(mm_prog, tree.root, ids, count,
-                                                       engine);
-              }));
-
-      server.start();
-      // One closed-loop producer per kernel so the admission thread always
-      // sees a mixed stream — the EDF arbitration path, not three serial
-      // single-lane phases.
-      std::vector<std::thread> producers;
-      for (const int k : {k_knn, k_pc, k_mm}) {
-        producers.emplace_back([&server, k, n] {
-          tb::serve::LoadGenOptions lg;
-          lg.rate_qps = 0.0;
-          lg.total = static_cast<std::size_t>(n);
-          lg.id_space = n;
-          lg.round_robin = true;
-          lg.kernel = k;
-          tb::serve::generate_load(server, lg);
-        });
+      const tb::serve::BatchPolicy policy{batch, batch == 1 ? 0 : max_wait_ns};
+      RunResult r = run_serve(tb::serve::knn_pool_runner(pool, fopt, prog), n,
+                              /*rate_qps=*/0.0, policy, kt->width);
+      r.digest = knn_digest(state, points.size());
+      if (r.digest != oracle.knn) {
+        std::fprintf(stderr, "error: knn serve digest mismatch (load=sat/%s)\n",
+                     iv.c_str());
+        return 1;
       }
-      for (auto& t : producers) t.join();
-      server.stop();
+      const std::string sat_variant =
+          "load=sat/" + iv + "/batch=" + std::to_string(batch);
+      record(rep, "knn", sat_variant, workers, r);
+      print_row("knn", ("sat/" + iv).c_str(), batch, r);
 
-      std::uint64_t pc_total = 0;
-      for (const auto& p : pc_parts) pc_total += p.value;
-      const struct {
-        const char* bench;
-        int k;
-        std::string digest;
-        std::string oracle;
-      } lanes[] = {
-          {"knn", k_knn, knn_digest(knn_state, points.size()), knn_oracle},
-          {"pointcorr", k_pc, std::to_string(pc_total), std::to_string(pc_oracle)},
-          {"minmaxdist", k_mm, tb::apps::minmaxdist_digest(mm_state), mm_oracle},
-      };
-      for (const auto& lane : lanes) {
-        if (lane.digest != lane.oracle) {
-          std::fprintf(stderr, "error: %s multi-kernel serve digest mismatch (%s)\n",
-                       lane.bench, variant_name("multi", batch).c_str());
-          return 1;
-        }
-        RunResult r;
-        r.lat = tb::serve::summarize_latencies(server.latencies_s(lane.k));
-        const double busy = server.busy_seconds(lane.k);
-        r.qps = busy > 0 ? static_cast<double>(server.completed(lane.k)) / busy : 0.0;
-        r.digest = lane.digest;
-        record(rep, lane.bench, variant_name("multi", batch), workers, r);
-        print_row(lane.bench, "multi", batch, r);
+      // Mixed three-lane traffic with every lane pinned to this table.
+      if (!run_multi_rung(rep, pool, points, tree, cfg, oracle, batch, max_wait_ns,
+                          kt->width, "load=multi/" + iv + "/batch=" + std::to_string(batch),
+                          ("multi/" + iv).c_str(), workers)) {
+        return 1;
       }
     }
   }
@@ -388,7 +439,7 @@ int main(int argc, char** argv) {
     const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
     const auto tree = tb::spatial::KdTree::build(points, 16);
     const auto n = static_cast<std::int32_t>(points.size());
-    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+    opt.t_reexp = 4 * static_cast<std::size_t>(active_width);
     std::string oracle;
     {
       tb::apps::KnnState state(points.size(), cfg.k);
@@ -405,14 +456,7 @@ int main(int argc, char** argv) {
       tb::serve::KernelOptions kopt;
       kopt.adaptive.enabled = true;
       kopt.adaptive.target_window_ns = max_wait_ns;
-      server.register_kernel(
-          "knn", kopt,
-          tb::serve::make_pool_runner<KnnEngine>(
-              pool, opt,
-              [&prog, &tree](const std::int32_t* ids, std::size_t count,
-                             KnnEngine& engine) {
-                tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
-              }));
+      server.register_kernel("knn", kopt, tb::serve::knn_pool_runner(pool, opt, prog));
       server.start();
       tb::serve::LoadGenOptions lg;
       lg.rate_qps = rate;
@@ -449,7 +493,7 @@ int main(int argc, char** argv) {
     const auto points = tb::spatial::Bodies::uniform_cube(cfg.points);
     const auto tree = tb::spatial::KdTree::build(points, 16);
     const auto n = static_cast<std::int32_t>(points.size());
-    opt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
+    opt.t_reexp = 4 * static_cast<std::size_t>(active_width);
     tb::apps::KnnState state(points.size(), cfg.k);  // no digest: sheds are legal
     tb::apps::KnnProgram prog{&points, &tree, &state};
     const std::pair<const char*, std::int64_t> budgets[] = {
@@ -457,13 +501,7 @@ int main(int argc, char** argv) {
     for (const auto& [tag, budget_ns] : budgets) {
       tb::serve::ServerOptions sopt;
       sopt.policy = {/*max_batch=*/64, max_wait_ns};
-      tb::serve::QueryServer server(
-          sopt, tb::serve::make_pool_runner<KnnEngine>(
-                    pool, opt,
-                    [&prog, &tree](const std::int32_t* ids, std::size_t count,
-                                   KnnEngine& engine) {
-                      tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
-                    }));
+      tb::serve::QueryServer server(sopt, tb::serve::knn_pool_runner(pool, opt, prog));
       server.start();
       tb::serve::LoadGenOptions lg;
       lg.rate_qps = cfg.low_rate_qps;

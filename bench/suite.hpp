@@ -50,6 +50,13 @@ inline const char* to_string(Layer l) {
   return "?";
 }
 
+// Canonical "isa=<name>" variant fragment for forced-ISA bench rungs, so
+// table2's hybrid rungs and serve_latency's per-ISA serving rungs agree on
+// identity-key spelling (the nightly join matches on it verbatim).
+inline std::string isa_variant(const tb::simd::KernelTable& t) {
+  return std::string("isa=") + t.name;
+}
+
 struct BlockedConfig {
   tb::core::SeqPolicy policy = tb::core::SeqPolicy::Restart;
   Layer layer = Layer::Simd;

@@ -171,7 +171,7 @@ int main(int argc, char** argv) {
         const auto* const* tables = tb::simd::available_tables(num_tables);
         for (int ti = 0; ti < num_tables; ++ti) {
           const tb::simd::KernelTable* kt = tables[ti];
-          const std::string pol = std::string("hybrid:isa=") + kt->name;
+          const std::string pol = "hybrid:" + tbench::isa_variant(*kt);
           tb::rt::HybridOptions fopt;
           fopt.t_reexp = 4 * static_cast<std::size_t>(kt->width);
           rep.add_timed(rep.make(b->name(), pol, "-", "simd", workers), reps,

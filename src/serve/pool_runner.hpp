@@ -1,11 +1,16 @@
-// Bridges QueryServer batches onto the hybrid executor.
+// Bridges QueryServer batches onto the hybrid executor — through the
+// runtime ISA dispatch tables.
 //
 // A dispatched batch is an arbitrary dense id block, not a [0, n) range —
 // exactly the shape of the donated-frame entry point the blocked engines
 // already expose (Engine::run_frame / blocked_*_frame): re-expand an
-// explicit id list into a fresh root block and traverse.  make_pool_runner
-// therefore splits the batch over the pool with hybrid_for and hands each
-// subrange of ids to a per-slot engine via the caller's frame function.
+// explicit id list into a fresh root block and traverse.  Each factory
+// below returns a serve::RunnerFactory: the router invokes it with the
+// lane's *resolved* kernel table (forced width honored, TB_SIMD_ISA
+// honored when unforced), and the table's make_serve_* entry point builds
+// the actual runner — per-slot BlockedTraversal engines at THAT table's
+// width, subranges fanned over the pool with hybrid_for.  No caller
+// instantiates an engine at a compile-time width anymore.
 //
 // Engines persist across batches (per-slot block pools stay warm), which
 // is the point of a persistent serving pool: no per-request engine or
@@ -14,37 +19,43 @@
 // multi-kernel server each registered kernel lane gets its own runner
 // (hence its own per-slot engines) over the SAME pool — batches serialize
 // on the admission thread, so two lanes never race on the pool's slots.
+//
+// Lifetimes: the pool, the program, and (for pointcorr) the per-slot
+// partials array — rt::hybrid_slots(pool) Padded<uint64_t> entries,
+// indexed by hybrid slot — must outlive the server that owns the runner.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <utility>
-#include <vector>
-
+#include "apps/knn.hpp"
+#include "apps/minmaxdist.hpp"
+#include "apps/pointcorr.hpp"
+#include "runtime/cacheline.hpp"
 #include "runtime/hybrid.hpp"
 #include "serve/server.hpp"
+#include "simd/dispatch.hpp"
 
 namespace tb::serve {
 
-// frame_fn(const std::int32_t* ids, std::size_t count, Engine& engine) runs
-// the kernel's blocked traversal from the tree root over `ids` — e.g. a
-// lambda around blocked_knn_frame.  The returned runner owns one engine per
-// hybrid slot (shared_ptr: BatchRunner is a copyable std::function).
-template <class Engine, class FrameFn>
-QueryServer::BatchRunner make_pool_runner(rt::ForkJoinPool& pool, const rt::HybridOptions& opt,
-                                          FrameFn frame_fn) {
-  const int slots = rt::hybrid_slots(pool);
-  auto engines = std::make_shared<std::vector<Engine>>();
-  engines->reserve(static_cast<std::size_t>(slots));
-  for (int s = 0; s < slots; ++s) engines->emplace_back(opt.t_reexp);
-  return [&pool, opt, engines, frame_fn = std::move(frame_fn)](const std::int32_t* ids,
-                                                              std::size_t count) {
-    rt::hybrid_for(pool, static_cast<std::int32_t>(count), opt,
-                   [&](std::int32_t b, std::int32_t e, int slot) {
-                     frame_fn(ids + b, static_cast<std::size_t>(e - b),
-                              (*engines)[static_cast<std::size_t>(slot)]);
-                   });
+inline RunnerFactory knn_pool_runner(rt::ForkJoinPool& pool, const rt::HybridOptions& opt,
+                                     const apps::KnnProgram& prog) {
+  return [&pool, opt, &prog](const simd::KernelTable& t) -> BatchRunner {
+    return t.make_serve_knn(pool, opt, prog);
+  };
+}
+
+inline RunnerFactory pointcorr_pool_runner(rt::ForkJoinPool& pool,
+                                           const rt::HybridOptions& opt,
+                                           const apps::PointCorrProgram& prog,
+                                           rt::Padded<std::uint64_t>* parts) {
+  return [&pool, opt, &prog, parts](const simd::KernelTable& t) -> BatchRunner {
+    return t.make_serve_pointcorr(pool, opt, prog, parts);
+  };
+}
+
+inline RunnerFactory minmaxdist_pool_runner(rt::ForkJoinPool& pool,
+                                            const rt::HybridOptions& opt,
+                                            const apps::MinmaxDistProgram& prog) {
+  return [&pool, opt, &prog](const simd::KernelTable& t) -> BatchRunner {
+    return t.make_serve_minmaxdist(pool, opt, prog);
   };
 }
 

@@ -16,6 +16,16 @@
 // effective deadline (explicit query deadline, else max-wait expiry), so a
 // latency-SLO kernel is never starved behind a bulk kernel's full batches.
 //
+// Each lane is bound to one simd::KernelTable, resolved at registration:
+// the server-wide ServerOptions::forced_width (0 = the process-wide active
+// table, which already folds in the CPUID probe and TB_SIMD_ISA), possibly
+// overridden per kernel by KernelOptions::forced_width.  An invalid width
+// throws at add(); a valid width the host cannot run clamps down with a
+// stderr notice — the same rule TB_SIMD_ISA follows (simd/isa.hpp).  Lanes
+// built from a RunnerFactory execute their resolved table's dispatched
+// entry points; lanes built from a plain BatchRunner still carry the table
+// for telemetry, but what the runner executes is the caller's business.
+//
 // Everything here is admission-thread-private after QueryServer::start();
 // registration happens before start, reads of telemetry after stop.
 #pragma once
@@ -23,8 +33,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -33,12 +45,19 @@
 #include "serve/batcher.hpp"
 #include "serve/clock.hpp"
 #include "serve/policy.hpp"
+#include "simd/dispatch.hpp"
 
 namespace tb::serve {
 
 // Runs one dense batch of query ids synchronously; called only from the
-// admission thread.  Typically built with make_pool_runner (pool_runner.hpp).
+// admission thread.  Same call shape as simd::ServeRunner — the table
+// factories in pool_runner.hpp produce these directly.
 using BatchRunner = std::function<void(const std::int32_t* ids, std::size_t count)>;
+
+// Builds a lane's BatchRunner from the lane's resolved kernel table — the
+// registration-time hook that makes serving ISA-dispatch-native.  See
+// pool_runner.hpp for the per-workload factories.
+using RunnerFactory = std::function<BatchRunner(const simd::KernelTable&)>;
 
 struct KernelOptions {
   // Fixed admission policy; ignored (re-derived per arrival) when
@@ -51,18 +70,63 @@ struct KernelOptions {
   std::int64_t initial_service_estimate_ns = 0;
   // EWMA weight 1/2^shift for the measured service estimate.
   int service_ewma_shift = 2;
+  // Forced serving lane width (4 / 8 / 16) for this kernel; 0 inherits the
+  // server-wide ServerOptions::forced_width.  Validated when the kernel is
+  // registered (see header comment for the clamp rule).
+  int forced_width = 0;
 };
+
+// Pure half of the forced-width clamp so the rule is unit-testable without
+// faking the host: the widest available width at or below `requested`, or
+// the narrowest available one when even that is too wide (defensive — the
+// w=4 table is always compiled, and 4 is the smallest valid request).
+inline int clamp_serve_width(int requested, const int* available, int count) {
+  int best = 0;
+  for (int i = 0; i < count; ++i) {
+    if (available[i] <= requested && available[i] > best) best = available[i];
+  }
+  if (best == 0 && count > 0) best = available[0];
+  return best;
+}
+
+// Resolves a forced serving width to the kernel table a lane will execute.
+// 0 defers to the process-wide selection (CPUID probe + TB_SIMD_ISA);
+// 4/8/16 pin the matching table, clamping down with a notice when the host
+// cannot run it (or the build compiled it out); anything else throws —
+// registration is the validation point, so a typo fails loudly instead of
+// silently serving at some other width.
+inline const simd::KernelTable& resolve_serve_table(int forced_width) {
+  if (forced_width == 0) return simd::kernels();
+  if (forced_width != 4 && forced_width != 8 && forced_width != 16) {
+    throw std::invalid_argument("taskbatch: forced serving width must be 0, 4, 8, or 16; got " +
+                                std::to_string(forced_width));
+  }
+  if (const simd::KernelTable* t = simd::kernels_for_width(forced_width)) return *t;
+  int count = 0;
+  const simd::KernelTable* const* tables = simd::available_tables(count);
+  int widths[3] = {};
+  for (int i = 0; i < count; ++i) widths[i] = tables[i]->width;
+  const simd::KernelTable* t =
+      simd::kernels_for_width(clamp_serve_width(forced_width, widths, count));
+  std::fprintf(stderr,
+               "taskbatch: forced serving width %d not runnable on this host; using %s "
+               "(w=%d)\n",
+               forced_width, t->name, t->width);
+  return *t;
+}
 
 // Per-kernel serving lane: batcher + runner + adaptive controller +
 // telemetry.  Owned by the router; admission-thread-private after start().
 class KernelLane {
 public:
-  KernelLane(std::string name, const KernelOptions& opt, BatchRunner runner)
+  KernelLane(std::string name, const KernelOptions& opt, BatchRunner runner,
+             const simd::KernelTable* table)
       : name_(std::move(name)),
         opt_(opt),
         batcher_(opt.policy),
         adaptive_(opt.adaptive),
-        runner_(std::move(runner)) {
+        runner_(std::move(runner)),
+        table_(table) {
     batcher_.set_service_estimate(opt_.initial_service_estimate_ns);
     service_est_ns_ = std::max<std::int64_t>(opt_.initial_service_estimate_ns, 0);
     if (opt_.adaptive.enabled) batcher_.set_policy(adaptive_.current());
@@ -73,6 +137,12 @@ public:
   const AdmissionBatcher& batcher() const { return batcher_; }
   const AdaptiveBatchPolicy& adaptive() const { return adaptive_; }
   const BatchRunner& runner() const { return runner_; }
+
+  // The kernel table this lane was bound to at registration; identity-
+  // comparable against simd::kernels() / kernels_for_width() in tests.
+  const simd::KernelTable& table() const { return *table_; }
+  int width() const { return table_->width; }
+  const char* isa_name() const { return table_->name; }
 
   // Routes one drained request into this lane: refreshes the adaptive
   // policy from the arrival stamp, then admits or sheds against the
@@ -136,6 +206,7 @@ private:
   AdmissionBatcher batcher_;
   AdaptiveBatchPolicy adaptive_;
   BatchRunner runner_;
+  const simd::KernelTable* table_;
 
   std::int64_t service_est_ns_ = 0;
   bool have_service_est_ = false;
@@ -154,9 +225,30 @@ private:
 // across registration.
 class KernelRouter {
 public:
+  // Server-wide fallback for lanes that leave KernelOptions::forced_width
+  // at 0; set once by QueryServer from ServerOptions before registration.
+  void set_default_forced_width(int width) { default_forced_width_ = width; }
+
+  // Registers a lane running a caller-built runner.  The table is still
+  // resolved (and the width validated) so telemetry reports what the lane
+  // *would* serve with — virtual-time tests register no-op runners and
+  // still exercise the resolution rule.
   int add(std::string name, const KernelOptions& opt, BatchRunner runner) {
+    const simd::KernelTable& t = resolve_serve_table(effective_width(opt));
     lanes_.push_back(
-        std::make_unique<KernelLane>(std::move(name), opt, std::move(runner)));
+        std::make_unique<KernelLane>(std::move(name), opt, std::move(runner), &t));
+    return static_cast<int>(lanes_.size()) - 1;
+  }
+
+  // Registers a lane whose runner is built FROM the resolved table — the
+  // dispatch-native path.  Resolution (and any invalid-width throw)
+  // happens before the lane exists, so a failed registration leaves the
+  // router unchanged.
+  int add(std::string name, const KernelOptions& opt, const RunnerFactory& factory) {
+    const simd::KernelTable& t = resolve_serve_table(effective_width(opt));
+    BatchRunner runner = factory(t);
+    lanes_.push_back(
+        std::make_unique<KernelLane>(std::move(name), opt, std::move(runner), &t));
     return static_cast<int>(lanes_.size()) - 1;
   }
 
@@ -205,7 +297,12 @@ public:
   }
 
 private:
+  int effective_width(const KernelOptions& opt) const {
+    return opt.forced_width != 0 ? opt.forced_width : default_forced_width_;
+  }
+
   std::vector<std::unique_ptr<KernelLane>> lanes_;
+  int default_forced_width_ = 0;
 };
 
 }  // namespace tb::serve

@@ -68,14 +68,24 @@ struct ServerOptions {
   // Policy for the implicit kernel registered by the single-runner
   // constructor; multi-kernel callers set policy per kernel instead.
   BatchPolicy policy{};
+  // Server-wide forced serving width (0 = the process-wide active table,
+  // i.e. CPUID probe + TB_SIMD_ISA; 4/8/16 pin that table).  A per-kernel
+  // KernelOptions::forced_width overrides this for its lane.  Validated at
+  // register_kernel time: an invalid width throws std::invalid_argument, a
+  // valid-but-unrunnable one clamps down with a stderr notice — the same
+  // rule TB_SIMD_ISA follows.
+  int forced_width = 0;
 };
 
 class QueryServer {
 public:
   using BatchRunner = serve::BatchRunner;
+  using RunnerFactory = serve::RunnerFactory;
 
   // Multi-kernel form: register kernels, then start().
-  explicit QueryServer(const ServerOptions& opt) : queue_(opt.queue_capacity) {}
+  explicit QueryServer(const ServerOptions& opt) : queue_(opt.queue_capacity) {
+    router_.set_default_forced_width(opt.forced_width);
+  }
 
   // Single-kernel convenience: the runner becomes kernel 0 ("default")
   // under opt.policy, and the kernel-less submit overloads target it.
@@ -83,6 +93,14 @@ public:
     KernelOptions kopt;
     kopt.policy = opt.policy;
     register_kernel("default", kopt, std::move(runner));
+  }
+
+  // Single-kernel, dispatch-native convenience: the factory is invoked
+  // with the resolved kernel table (see ServerOptions::forced_width).
+  QueryServer(const ServerOptions& opt, const RunnerFactory& factory) : QueryServer(opt) {
+    KernelOptions kopt;
+    kopt.policy = opt.policy;
+    register_kernel("default", kopt, factory);
   }
 
   ~QueryServer() { stop(); }
@@ -96,9 +114,28 @@ public:
     return router_.add(std::move(name), kopt, std::move(runner));
   }
 
+  // Dispatch-native form: the factory builds the lane's runner from the
+  // kernel table resolved for this lane's forced width.  Throws
+  // std::invalid_argument (leaving the server unchanged) when the width is
+  // not one of 0/4/8/16.
+  int register_kernel(std::string name, const KernelOptions& kopt,
+                      const RunnerFactory& factory) {
+    return router_.add(std::move(name), kopt, factory);
+  }
+
   std::size_t kernels() const { return router_.size(); }
   const std::string& kernel_name(int k) const { return router_.lane(k).name(); }
   int find_kernel(std::string_view name) const { return router_.find(name); }
+
+  // The kernel table a lane was bound to at registration, plus its width
+  // and ISA name; the kernel-less forms describe kernel 0.  Valid any time
+  // after registration (tables are immutable process-wide statics).
+  const simd::KernelTable& serving_table(int k) const { return router_.lane(k).table(); }
+  const simd::KernelTable& serving_table() const { return serving_table(0); }
+  int serving_width(int k) const { return router_.lane(k).width(); }
+  int serving_width() const { return serving_width(0); }
+  const char* serving_isa(int k) const { return router_.lane(k).isa_name(); }
+  const char* serving_isa() const { return serving_isa(0); }
 
   void start() {
     if (thread_.joinable()) return;  // already running

@@ -32,7 +32,9 @@
 // level is missing or the host cannot execute it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "apps/barneshut.hpp"
 #include "apps/knn.hpp"
@@ -40,10 +42,17 @@
 #include "apps/pointcorr.hpp"
 #include "core/stats.hpp"
 #include "lockstep/lockstep.hpp"
+#include "runtime/cacheline.hpp"
 #include "runtime/hybrid.hpp"
 #include "simd/isa.hpp"
 
 namespace tb::simd {
+
+// A type-erased serving runner: traverses one dense batch of query ids
+// from the tree root.  Built by a table's make_serve_* factory and owned
+// by a QueryServer kernel lane (serve/router.hpp BatchRunner has the same
+// call shape — the serving layer binds lanes to tables through these).
+using ServeRunner = std::function<void(const std::int32_t* ids, std::size_t count)>;
 
 // Entry points of one ISA level.  The three scheduler rows mirror the
 // kernel headers: classic masked lockstep, single-core blocked
@@ -83,6 +92,22 @@ struct KernelTable {
                                     core::PerWorkerStats*);
   void (*hybrid_minmaxdist)(rt::ForkJoinPool&, const apps::MinmaxDistProgram&,
                             const rt::HybridOptions&, core::PerWorkerStats*);
+
+  // Serving factories: each returns a runner that fans a dense id batch out
+  // over `pool` with rt::hybrid_for and re-expands every subrange through
+  // THIS table's blocked frame entry point on a persistent per-slot engine
+  // of the table's width (engines stay warm across batches; ranges mapped
+  // to one slot never run concurrently, so the engines need no locking —
+  // the same contract as serve/pool_runner.hpp).  The program — and for
+  // pointcorr the per-slot partials array, rt::hybrid_slots(pool) entries,
+  // indexed by hybrid slot — must outlive the returned runner.
+  ServeRunner (*make_serve_knn)(rt::ForkJoinPool&, const rt::HybridOptions&,
+                                const apps::KnnProgram&);
+  ServeRunner (*make_serve_pointcorr)(rt::ForkJoinPool&, const rt::HybridOptions&,
+                                      const apps::PointCorrProgram&,
+                                      rt::Padded<std::uint64_t>* parts);
+  ServeRunner (*make_serve_minmaxdist)(rt::ForkJoinPool&, const rt::HybridOptions&,
+                                       const apps::MinmaxDistProgram&);
 };
 
 // The table for `isa`, or nullptr when that level was not compiled in or

@@ -18,6 +18,9 @@
 #error "dispatch_table.ipp requires TB_DISPATCH_ISA_NS / TB_DISPATCH_ISA_ENUM / TB_DISPATCH_WIDTH"
 #endif
 
+#include <memory>
+#include <vector>
+
 #include "lockstep/lockstep_barneshut.hpp"
 #include "lockstep/lockstep_knn.hpp"
 #include "lockstep/lockstep_minmax.hpp"
@@ -83,6 +86,60 @@ void hy_minmaxdist(rt::ForkJoinPool& pool, const apps::MinmaxDistProgram& prog,
   lockstep::hybrid_minmaxdist<kW>(pool, prog, opt, stats);
 }
 
+// Serving runners: one persistent blocked engine per hybrid slot at this
+// TU's width, shared_ptr-held because ServeRunner is a copyable
+// std::function.  The capture lambdas are anonymous-namespace types, so
+// their std::function managers are TU-private — no cross-ISA COMDAT.
+std::shared_ptr<std::vector<lockstep::BlockedTraversal<kW>>> slot_engines(
+    const rt::ForkJoinPool& pool, const rt::HybridOptions& opt) {
+  const int slots = rt::hybrid_slots(pool);
+  auto engines = std::make_shared<std::vector<lockstep::BlockedTraversal<kW>>>();
+  engines->reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) engines->emplace_back(opt.t_reexp);
+  return engines;
+}
+
+ServeRunner sv_knn(rt::ForkJoinPool& pool, const rt::HybridOptions& opt,
+                   const apps::KnnProgram& prog) {
+  auto engines = slot_engines(pool, opt);
+  return [&pool, opt, &prog, engines](const std::int32_t* ids, std::size_t count) {
+    rt::hybrid_for(pool, static_cast<std::int32_t>(count), opt,
+                   [&](std::int32_t b, std::int32_t e, int slot) {
+                     lockstep::blocked_knn_frame<kW>(
+                         prog, prog.tree->root, ids + b, static_cast<std::size_t>(e - b),
+                         (*engines)[static_cast<std::size_t>(slot)]);
+                   });
+  };
+}
+
+ServeRunner sv_pointcorr(rt::ForkJoinPool& pool, const rt::HybridOptions& opt,
+                         const apps::PointCorrProgram& prog,
+                         rt::Padded<std::uint64_t>* parts) {
+  auto engines = slot_engines(pool, opt);
+  return [&pool, opt, &prog, parts, engines](const std::int32_t* ids, std::size_t count) {
+    rt::hybrid_for(pool, static_cast<std::int32_t>(count), opt,
+                   [&](std::int32_t b, std::int32_t e, int slot) {
+                     const auto s = static_cast<std::size_t>(slot);
+                     parts[s].value += lockstep::blocked_pointcorr_frame<kW>(
+                         prog, prog.tree->root, ids + b, static_cast<std::size_t>(e - b),
+                         (*engines)[s]);
+                   });
+  };
+}
+
+ServeRunner sv_minmaxdist(rt::ForkJoinPool& pool, const rt::HybridOptions& opt,
+                          const apps::MinmaxDistProgram& prog) {
+  auto engines = slot_engines(pool, opt);
+  return [&pool, opt, &prog, engines](const std::int32_t* ids, std::size_t count) {
+    rt::hybrid_for(pool, static_cast<std::int32_t>(count), opt,
+                   [&](std::int32_t b, std::int32_t e, int slot) {
+                     lockstep::blocked_minmaxdist_frame<kW>(
+                         prog, prog.tree->root, ids + b, static_cast<std::size_t>(e - b),
+                         (*engines)[static_cast<std::size_t>(slot)]);
+                   });
+  };
+}
+
 }  // namespace
 
 const KernelTable& table() {
@@ -103,6 +160,9 @@ const KernelTable& table() {
       &hy_pointcorr,
       &hy_barneshut,
       &hy_minmaxdist,
+      &sv_knn,
+      &sv_pointcorr,
+      &sv_minmaxdist,
   };
   return t;
 }

@@ -1,21 +1,27 @@
 // Stress tests for the serving layer (label: stress — repeated under TSan
 // by the weekly soak): MPMC queue conservation under concurrent producers
 // and consumers, the full QueryServer under multi-producer load with
-// batches executing on a real ForkJoinPool — single- and multi-kernel —
-// and the stop-vs-submit race's accounting invariant.
+// batches executing on a real ForkJoinPool — single- and multi-kernel,
+// including lanes pinned to different forced SIMD widths — and the
+// stop-vs-submit race's accounting invariant.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "apps/knn.hpp"
 #include "runtime/forkjoin.hpp"
 #include "serve/clock.hpp"
+#include "serve/pool_runner.hpp"
 #include "serve/queue.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
+#include "simd/dispatch.hpp"
+#include "spatial/kdtree.hpp"
 
 namespace {
 
@@ -231,6 +237,80 @@ TEST(ServeStress, ConcurrentStopAccountsEveryAcceptedSubmit) {
         << "round " << round;
     EXPECT_EQ(server.shed(), 0u);  // no deadlines in this stream
     EXPECT_FALSE(server.try_submit(0, tb::serve::now_ns()));
+  }
+}
+
+// Mixed-width hot serving: one knn lane per runnable kernel table, each
+// pinned to its forced width, all sharing one admission thread and one
+// pool, while concurrent producers hammer every lane and a stopper races
+// the stream.  The dispatch-native claim under stress: per-lane table
+// binding survives hot traffic, and the lifecycle accounting invariant
+// (accepted == completed + shed + unserved_at_stop, per lane) holds no
+// matter which width a lane executes at.  Producers partition the id
+// space so each (lane, id) pair is submitted at most once — duplicate ids
+// inside one batch would make two hybrid subranges offer into the same
+// k-best list concurrently, which is a real data race, not a test bug.
+TEST(ServeStress, MixedWidthLanesConservation) {
+  constexpr std::size_t kPoints = 1200;
+  constexpr int kK = 4;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = static_cast<int>(kPoints) / kProducers;
+  const auto points = tb::spatial::Bodies::uniform_cube(kPoints);
+  const auto tree = tb::spatial::KdTree::build(points, 16);
+
+  int count = 0;
+  const tb::simd::KernelTable* const* tables = tb::simd::available_tables(count);
+  ASSERT_GT(count, 0);
+
+  tb::rt::ForkJoinPool pool(4);
+  std::vector<tb::apps::KnnState> states;
+  std::vector<tb::apps::KnnProgram> progs;
+  states.reserve(static_cast<std::size_t>(count));
+  progs.reserve(static_cast<std::size_t>(count));
+
+  ServerOptions opt;
+  opt.queue_capacity = 256;  // small queue: producers hit backpressure
+  QueryServer server(opt);
+  for (int ti = 0; ti < count; ++ti) {
+    states.emplace_back(kPoints, kK);
+    progs.push_back(tb::apps::KnnProgram{&points, &tree, &states.back()});
+    tb::rt::HybridOptions hopt;
+    hopt.t_reexp = 4 * static_cast<std::size_t>(tables[ti]->width);
+    KernelOptions kopt;
+    kopt.policy = {/*max_batch=*/64, /*max_wait_ns=*/50'000};
+    kopt.forced_width = tables[ti]->width;
+    const int k = server.register_kernel(std::string("knn_") + tables[ti]->name, kopt,
+                                         tb::serve::knn_pool_runner(pool, hopt, progs.back()));
+    ASSERT_EQ(&server.serving_table(k), tables[ti]);
+  }
+  server.start();
+
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::size_t mine = 0;
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto id = static_cast<std::int32_t>(p * kPerProducer + i);
+        for (int k = 0; k < count; ++k) {
+          if (server.try_submit(k, id, tb::serve::now_ns())) ++mine;
+        }
+      }
+      accepted.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  std::thread stopper([&] { server.stop(); });
+  for (auto& t : producers) t.join();
+  stopper.join();
+  server.stop();
+
+  ASSERT_EQ(accepted.load(),
+            server.completed() + server.shed() + server.unserved_at_stop());
+  EXPECT_EQ(server.shed(), 0u);  // no deadlines in this stream
+  for (int k = 0; k < count; ++k) {
+    EXPECT_EQ(server.serving_width(k), tables[k]->width);
+    EXPECT_EQ(server.latencies_s(k).size(), server.completed(k));
   }
 }
 

@@ -2,21 +2,21 @@
 // batcher's max-batch/max-wait/deadline policy in exact virtual time, the
 // adaptive (rate-derived) batch policy, latency percentile math, server
 // lifecycle regressions (double-stop, stop-without-start, post-stop
-// submit, backlog memory bound), and the QueryServer end to end — single-
-// and multi-kernel — against the sequential oracles.
+// submit, backlog memory bound), the QueryServer end to end — single- and
+// multi-kernel — against the sequential oracles, and the ISA-dispatch
+// binding of serving lanes (active-table regression, forced-width
+// validation/clamping, cross-ISA digest equivalence).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/knn.hpp"
 #include "apps/minmaxdist.hpp"
 #include "apps/pointcorr.hpp"
-#include "lockstep/lockstep_knn.hpp"
-#include "lockstep/lockstep_minmax.hpp"
-#include "lockstep/lockstep_pointcorr.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/forkjoin.hpp"
 #include "serve/batcher.hpp"
@@ -27,6 +27,8 @@
 #include "serve/queue.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/isa.hpp"
 #include "spatial/kdtree.hpp"
 
 namespace {
@@ -426,17 +428,14 @@ TEST(QueryServer, KnnServeMatchesSequentialOracle) {
   tb::apps::KnnProgram prog{&points, &tree, &served};
   tb::rt::ForkJoinPool pool(2);
   tb::rt::HybridOptions hopt;
-  hopt.t_reexp = 4 * static_cast<std::size_t>(tb::apps::KnnProgram::simd_width);
-  using Engine = tb::lockstep::BlockedTraversal<tb::apps::KnnProgram::simd_width>;
-  auto runner = tb::serve::make_pool_runner<Engine>(
-      pool, hopt,
-      [&prog, &tree](const std::int32_t* ids, std::size_t count, Engine& engine) {
-        tb::lockstep::blocked_knn_frame(prog, tree.root, ids, count, engine);
-      });
+  hopt.t_reexp = 4 * static_cast<std::size_t>(tb::simd::kernels().width);
 
   ServerOptions opt;
   opt.policy = {/*max_batch=*/32, /*max_wait_ns=*/200'000};
-  QueryServer server(opt, std::move(runner));
+  QueryServer server(opt, tb::serve::knn_pool_runner(pool, hopt, prog));
+  // Dispatch-native: the lane is bound to the process-wide active table.
+  EXPECT_EQ(&server.serving_table(), &tb::simd::kernels());
+  EXPECT_EQ(server.serving_width(), tb::simd::kernels().width);
   server.start();
   tb::serve::LoadGenOptions lg;
   lg.rate_qps = 0.0;  // closed loop
@@ -585,40 +584,23 @@ TEST(MultiKernel, ThreeKernelServeMatchesSequentialOracles) {
 
   tb::apps::KnnState knn_served(kPoints, kK);
   tb::apps::KnnProgram knn_prog{&points, &tree, &knn_served};
-  using KnnEngine = tb::lockstep::BlockedTraversal<tb::apps::KnnProgram::simd_width>;
-  auto knn_runner = tb::serve::make_pool_runner<KnnEngine>(
-      pool, hopt,
-      [&knn_prog, &tree](const std::int32_t* ids, std::size_t count, KnnEngine& engine) {
-        tb::lockstep::blocked_knn_frame(knn_prog, tree.root, ids, count, engine);
-      });
 
-  using PcEngine = tb::lockstep::BlockedTraversal<tb::apps::PointCorrProgram::simd_width>;
   std::vector<tb::rt::Padded<std::uint64_t>> pc_parts(
       static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
-  auto pc_runner = tb::serve::make_pool_runner<PcEngine>(
-      pool, hopt,
-      [&pc_prog, &tree, &pc_parts](const std::int32_t* ids, std::size_t count,
-                                   PcEngine& engine) {
-        const auto slot = static_cast<std::size_t>(tb::rt::ForkJoinPool::worker_id());
-        pc_parts[slot].value +=
-            tb::lockstep::blocked_pointcorr_frame(pc_prog, tree.root, ids, count, engine);
-      });
 
   tb::apps::MinmaxDistState mm_served(kPoints);
   tb::apps::MinmaxDistProgram mm_prog{&points, &tree, &mm_served};
-  using MmEngine = tb::lockstep::BlockedTraversal<tb::apps::MinmaxDistProgram::simd_width>;
-  auto mm_runner = tb::serve::make_pool_runner<MmEngine>(
-      pool, hopt,
-      [&mm_prog, &tree](const std::int32_t* ids, std::size_t count, MmEngine& engine) {
-        tb::lockstep::blocked_minmaxdist_frame(mm_prog, tree.root, ids, count, engine);
-      });
 
   QueryServer server(ServerOptions{});
   KernelOptions kopt;
   kopt.policy = {/*max_batch=*/32, /*max_wait_ns=*/200'000};
-  const int k_knn = server.register_kernel("knn", kopt, std::move(knn_runner));
-  const int k_pc = server.register_kernel("pointcorr", kopt, std::move(pc_runner));
-  const int k_mm = server.register_kernel("minmaxdist", kopt, std::move(mm_runner));
+  const int k_knn =
+      server.register_kernel("knn", kopt, tb::serve::knn_pool_runner(pool, hopt, knn_prog));
+  const int k_pc = server.register_kernel(
+      "pointcorr", kopt,
+      tb::serve::pointcorr_pool_runner(pool, hopt, pc_prog, pc_parts.data()));
+  const int k_mm = server.register_kernel(
+      "minmaxdist", kopt, tb::serve::minmaxdist_pool_runner(pool, hopt, mm_prog));
   server.start();
   for (std::int32_t i = 0; i < n; ++i) {
     ASSERT_TRUE(server.submit(k_knn, i, tb::serve::now_ns()));
@@ -682,6 +664,258 @@ TEST(DeadlineServe, GenerousDeadlinesAllServedOnTime) {
   EXPECT_EQ(server.served_late(), 0u);
   // Accounting invariant: every accepted query lands in exactly one bucket.
   EXPECT_EQ(accepted, server.completed() + server.shed() + server.unserved_at_stop());
+}
+
+// ---- ISA-dispatch binding of serving lanes --------------------------------------
+
+// FNV-1a over the served k-best float bits — the bit-identical currency
+// the cross-table matrix compares in.
+std::uint64_t knn_digest(const tb::apps::KnnState& st, std::size_t queries) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t q = 0; q < queries; ++q) {
+    for (const float d : st.distances(static_cast<std::int32_t>(q))) {
+      std::uint32_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      h = (h ^ bits) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+// Regression for the inert forced-ISA rerun: serving lanes must be bound
+// to the PROCESS-WIDE active table, so `TB_SIMD_ISA=sse2 ctest -R serve`
+// really serves through the sse2 table.  Before table threading the lane
+// width was fixed at compile time and this env var changed nothing here.
+// (Compared against kernels() rather than active_isa() by name: on an
+// sse-only build of an AVX host, active_isa() stays high while kernels()
+// correctly clamps to the widest compiled table — the lane must follow
+// kernels().)
+TEST(ServeDispatch, ActiveTableMatchesActiveIsa) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{}, cr.runner());
+  const tb::simd::KernelTable& active = tb::simd::kernels();
+  EXPECT_EQ(&server.serving_table(), &active);
+  EXPECT_EQ(server.serving_width(), active.width);
+  EXPECT_STREQ(server.serving_isa(), active.name);
+  // kernels() already folds in TB_SIMD_ISA: never above the active level.
+  EXPECT_LE(static_cast<int>(active.isa), static_cast<int>(tb::simd::active_isa()));
+}
+
+// Satellite: every runnable table serves knn/pointcorr/minmaxdist with
+// bit-identical results (vs the sequential oracles and hence vs each
+// other) and exact completed+shed+unserved accounting.
+TEST(ServeDispatch, CrossIsaServeEquivalenceMatrix) {
+  constexpr std::size_t kPoints = 300;
+  constexpr int kK = 4;
+  constexpr float kRad2 = 0.05f;
+  const auto points = tb::spatial::Bodies::uniform_cube(kPoints);
+  const auto tree = tb::spatial::KdTree::build(points, 16);
+  const auto n = static_cast<std::int32_t>(kPoints);
+
+  tb::apps::KnnState knn_oracle(kPoints, kK);
+  {
+    tb::apps::KnnProgram prog{&points, &tree, &knn_oracle};
+    tb::apps::knn_sequential(prog);
+  }
+  const std::uint64_t knn_want = knn_digest(knn_oracle, kPoints);
+  tb::apps::PointCorrProgram pc_prog{&points, &tree, kRad2};
+  const std::uint64_t pc_want = tb::apps::pointcorr_sequential(pc_prog);
+  tb::apps::MinmaxDistState mm_oracle(kPoints);
+  {
+    tb::apps::MinmaxDistProgram prog{&points, &tree, &mm_oracle};
+    tb::apps::minmaxdist_sequential(prog);
+  }
+  const auto mm_want = tb::apps::minmaxdist_digest(mm_oracle);
+
+  int count = 0;
+  const tb::simd::KernelTable* const* tables = tb::simd::available_tables(count);
+  ASSERT_GT(count, 0);
+  for (int ti = 0; ti < count; ++ti) {
+    const tb::simd::KernelTable* tab = tables[ti];
+    SCOPED_TRACE(tab->name);
+    tb::rt::ForkJoinPool pool(2);
+    tb::rt::HybridOptions hopt;
+    hopt.t_reexp = 4 * static_cast<std::size_t>(tab->width);
+
+    tb::apps::KnnState knn_served(kPoints, kK);
+    tb::apps::KnnProgram knn_prog{&points, &tree, &knn_served};
+    std::vector<tb::rt::Padded<std::uint64_t>> pc_parts(
+        static_cast<std::size_t>(tb::rt::hybrid_slots(pool)));
+    tb::apps::MinmaxDistState mm_served(kPoints);
+    tb::apps::MinmaxDistProgram mm_prog{&points, &tree, &mm_served};
+
+    ServerOptions opt;
+    opt.forced_width = tab->width;
+    QueryServer server(opt);
+    KernelOptions kopt;
+    kopt.policy = {/*max_batch=*/32, /*max_wait_ns=*/200'000};
+    const int k_knn = server.register_kernel(
+        "knn", kopt, tb::serve::knn_pool_runner(pool, hopt, knn_prog));
+    const int k_pc = server.register_kernel(
+        "pointcorr", kopt,
+        tb::serve::pointcorr_pool_runner(pool, hopt, pc_prog, pc_parts.data()));
+    const int k_mm = server.register_kernel(
+        "minmaxdist", kopt, tb::serve::minmaxdist_pool_runner(pool, hopt, mm_prog));
+    ASSERT_EQ(&server.serving_table(k_knn), tab);
+    ASSERT_EQ(&server.serving_table(k_pc), tab);
+    ASSERT_EQ(&server.serving_table(k_mm), tab);
+    EXPECT_EQ(server.serving_width(k_knn), tab->width);
+    EXPECT_STREQ(server.serving_isa(k_knn), tab->name);
+
+    server.start();
+    std::size_t accepted = 0;
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (server.submit(k_knn, i, tb::serve::now_ns())) ++accepted;
+      if (server.submit(k_pc, i, tb::serve::now_ns())) ++accepted;
+      if (server.submit(k_mm, i, tb::serve::now_ns())) ++accepted;
+    }
+    server.stop();
+
+    EXPECT_EQ(accepted, 3 * kPoints);
+    EXPECT_EQ(accepted,
+              server.completed() + server.shed() + server.unserved_at_stop());
+    EXPECT_EQ(server.completed(k_knn), kPoints);
+    EXPECT_EQ(server.completed(k_pc), kPoints);
+    EXPECT_EQ(server.completed(k_mm), kPoints);
+
+    EXPECT_EQ(knn_digest(knn_served, kPoints), knn_want);
+    std::uint64_t pc_total = 0;
+    for (const auto& p : pc_parts) pc_total += p.value;
+    EXPECT_EQ(pc_total, pc_want);
+    EXPECT_EQ(tb::apps::minmaxdist_digest(mm_served), mm_want);
+  }
+}
+
+// Satellite: forced-width validation happens at registration and a failed
+// registration leaves the server untouched.
+TEST(ServeDispatch, InvalidForcedWidthRejectedAtRegistration) {
+  CountingRunner cr;
+  QueryServer server(ServerOptions{});
+  KernelOptions bad;
+  bad.forced_width = 5;
+  EXPECT_THROW(server.register_kernel("bad", bad, cr.runner()), std::invalid_argument);
+  EXPECT_EQ(server.kernels(), 0u);  // no half-registered lane
+
+  // Server-wide invalid width also surfaces at registration (that is where
+  // resolution happens), not at construction.
+  ServerOptions sopt;
+  sopt.forced_width = 7;
+  QueryServer server2(sopt);
+  KernelOptions inherit;  // forced_width = 0 inherits the bad server width
+  EXPECT_THROW(server2.register_kernel("k", inherit, cr.runner()), std::invalid_argument);
+
+  // Valid width registers; per-kernel override beats the server-wide one.
+  ServerOptions wide;
+  wide.forced_width = tb::simd::kernels().width;
+  QueryServer server3(wide);
+  KernelOptions narrow;
+  narrow.forced_width = 4;  // the sse2 table is always compiled and runnable
+  const int k = server3.register_kernel("narrow", narrow, cr.runner());
+  EXPECT_EQ(server3.serving_width(k), 4);
+  const int kd = server3.register_kernel("inherit", inherit, cr.runner());
+  EXPECT_EQ(server3.serving_width(kd), tb::simd::kernels().width);
+}
+
+// Satellite: forced widths select exactly the matching table when it is
+// runnable and clamp down (TB_SIMD_ISA's clamp rule) when it is not —
+// phrased host-independently so the same assertions hold on the sse-only
+// CI leg where the AVX tables are compiled out.
+TEST(ServeDispatch, ForcedWidthSelectsAndClampsLikeTbSimdIsa) {
+  int count = 0;
+  const tb::simd::KernelTable* const* tables = tb::simd::available_tables(count);
+  ASSERT_GT(count, 0);
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(&tb::serve::resolve_serve_table(tables[i]->width), tables[i]);
+  }
+  // 16 is always a *valid* request; when the avx512 table is missing it
+  // clamps to the widest runnable table (the last available_tables entry).
+  EXPECT_EQ(&tb::serve::resolve_serve_table(16), tables[count - 1]);
+  EXPECT_EQ(&tb::serve::resolve_serve_table(0), &tb::simd::kernels());
+  EXPECT_THROW(tb::serve::resolve_serve_table(3), std::invalid_argument);
+  EXPECT_THROW(tb::serve::resolve_serve_table(-4), std::invalid_argument);
+  EXPECT_THROW(tb::serve::resolve_serve_table(32), std::invalid_argument);
+}
+
+TEST(ServeDispatch, ClampRuleIsPure) {
+  using tb::serve::clamp_serve_width;
+  const int all[] = {4, 8, 16};
+  EXPECT_EQ(clamp_serve_width(16, all, 3), 16);
+  EXPECT_EQ(clamp_serve_width(8, all, 3), 8);
+  EXPECT_EQ(clamp_serve_width(4, all, 3), 4);
+  const int sse_only[] = {4};
+  EXPECT_EQ(clamp_serve_width(16, sse_only, 1), 4);
+  EXPECT_EQ(clamp_serve_width(8, sse_only, 1), 4);
+  const int no_avx512[] = {4, 8};
+  EXPECT_EQ(clamp_serve_width(16, no_avx512, 2), 8);
+  // Defensive floor: nothing at or below the request -> narrowest table.
+  const int weird[] = {8, 16};
+  EXPECT_EQ(clamp_serve_width(4, weird, 2), 8);
+}
+
+// Satellite: admission policy behavior (EDF arbitration, deadline shed,
+// adaptive batch sizing) is a pure function of virtual time and must not
+// depend on which table a lane is bound to.  Replays one scenario per
+// runnable table and compares every observable against the width-0 run.
+TEST(ServeDispatch, TableChoiceDoesNotAffectAdmissionPolicies) {
+  struct Observed {
+    std::vector<int> picks;
+    std::size_t bulk_shed = 0;
+    std::size_t slo_shed = 0;
+    std::int64_t park_horizon = 0;
+    std::size_t adaptive_batch = 0;
+  };
+  const auto replay = [](int forced_width) {
+    const auto noop = [](const std::int32_t*, std::size_t) {};
+    KernelRouter router;
+    KernelOptions kopt;
+    kopt.policy = {/*max_batch=*/4, /*max_wait_ns=*/1000};
+    kopt.initial_service_estimate_ns = 100;
+    kopt.forced_width = forced_width;
+    KernelOptions aopt = kopt;
+    aopt.adaptive.enabled = true;
+    aopt.adaptive.max_batch = 64;
+    aopt.adaptive.target_window_ns = 1000;
+    const int bulk = router.add("bulk", kopt, noop);
+    const int slo = router.add("slo", aopt, noop);
+
+    Observed o;
+    // Bulk: old arrival, no deadline.  SLO: newer arrival, 600 deadline,
+    // plus one unmeetable deadline that must shed (service estimate 100).
+    router.lane(bulk).admit(1, /*arrival=*/0, kNoDeadline, /*now=*/0);
+    router.lane(slo).admit(2, /*arrival=*/50, /*deadline=*/600, /*now=*/50);
+    router.lane(slo).admit(3, /*arrival=*/60, /*deadline=*/120, /*now=*/60);
+    o.park_horizon = router.next_deadline_ns();
+    Batch out;
+    int k;
+    while ((k = router.pick_ready(/*now=*/2000)) != -1) {
+      o.picks.push_back(k);
+      router.lane(k).batcher().pop_ready(2000, out);
+      out.clear();
+    }
+    // Adaptive lane: steady 100 ns gaps derive the same policy everywhere.
+    for (std::int64_t t = 3000; t <= 3500; t += 100) {
+      router.lane(slo).admit(9, t, kNoDeadline, t);
+    }
+    o.adaptive_batch = router.lane(slo).batcher().policy().max_batch;
+    o.bulk_shed = router.lane(bulk).shed();
+    o.slo_shed = router.lane(slo).shed();
+    return o;
+  };
+
+  const Observed want = replay(/*forced_width=*/0);
+  EXPECT_EQ(want.slo_shed, 1u);  // the unmeetable deadline
+  int count = 0;
+  const tb::simd::KernelTable* const* tables = tb::simd::available_tables(count);
+  for (int ti = 0; ti < count; ++ti) {
+    SCOPED_TRACE(tables[ti]->name);
+    const Observed got = replay(tables[ti]->width);
+    EXPECT_EQ(got.picks, want.picks);
+    EXPECT_EQ(got.bulk_shed, want.bulk_shed);
+    EXPECT_EQ(got.slo_shed, want.slo_shed);
+    EXPECT_EQ(got.park_horizon, want.park_horizon);
+    EXPECT_EQ(got.adaptive_batch, want.adaptive_batch);
+  }
 }
 
 }  // namespace
